@@ -1,0 +1,39 @@
+//! # stegfs-analysis
+//!
+//! The attacker's toolbox — used to *validate* the paper's security claims
+//! empirically rather than to break anything.
+//!
+//! Section 3.2.4 (Definition 1) says the system is secure when the observable
+//! access distribution with user activity is computationally indistinguishable
+//! from the distribution of pure dummy traffic. This crate provides the two
+//! attacker models of Section 3.2.2 and the statistical machinery to measure
+//! distinguishability:
+//!
+//! * [`UpdateAnalysisAttacker`] — consumes snapshot diffs (which blocks
+//!   changed between scans of the raw storage) and tests whether the changed
+//!   positions deviate from the uniform distribution that dummy updates
+//!   produce.
+//! * [`TrafficAnalysisAttacker`] — consumes the I/O request trace between the
+//!   agent and the storage and runs the same position-uniformity test plus a
+//!   repetition test (real, unprotected workloads hit the same blocks over
+//!   and over; oblivious traffic does not).
+//! * [`chi_square_uniform`], [`kl_divergence_from_uniform`],
+//!   [`repetition_rate`] — the underlying statistics.
+//!
+//! The integration tests and the `security_analysis` experiment use these to
+//! show that plain StegFS updates are flagged as distinguishable while
+//! StegHide updates and oblivious reads are not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attackers;
+mod statistics;
+
+pub use attackers::{
+    TrafficAnalysisAttacker, TrafficVerdict, UpdateAnalysisAttacker, UpdateVerdict,
+};
+pub use statistics::{
+    chi_square_critical_value, chi_square_uniform, frequency_histogram, kl_divergence_between,
+    kl_divergence_from_uniform, repetition_rate, ChiSquareResult,
+};

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: AES-256-CBC
+//! block sealing/opening (the per-block cost every StegFS operation pays) and
+//! SHA-256 (the DRBG and key-derivation primitive).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stegfs_crypto::{sha256, Aes256, CbcCipher, HashDrbg, Key256};
+
+fn bench_aes_cbc(c: &mut Criterion) {
+    let key = Key256::from_passphrase("bench");
+    let cbc = CbcCipher::new(Aes256::new(key.as_bytes()));
+    let plaintext = vec![0xA5u8; 4080];
+    let iv = [7u8; 16];
+    let ciphertext = cbc.encrypt(&iv, &plaintext).unwrap();
+
+    let mut group = c.benchmark_group("aes256_cbc");
+    group.throughput(Throughput::Bytes(plaintext.len() as u64));
+    group.bench_function("encrypt_4080B", |b| {
+        b.iter(|| cbc.encrypt(&iv, std::hint::black_box(&plaintext)).unwrap())
+    });
+    group.bench_function("decrypt_4080B", |b| {
+        b.iter(|| cbc.decrypt(&iv, std::hint::black_box(&ciphertext)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0x3Cu8; 4096];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("hash_4096B", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_drbg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_drbg");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("fill_4096B", |b| {
+        let mut rng = HashDrbg::from_u64(1);
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| {
+            rng.fill_bytes(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aes_cbc, bench_sha256, bench_drbg);
+criterion_main!(benches);

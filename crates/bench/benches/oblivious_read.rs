@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the oblivious storage read path at two
+//! hierarchy heights, plus the overwrite path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_blockdev::MemDevice;
+use stegfs_crypto::{HashDrbg, Key256};
+use stegfs_oblivious::{ObliviousConfig, ObliviousStore};
+
+fn build_store(buffer_blocks: u64, items: u64) -> ObliviousStore<MemDevice, MemDevice> {
+    let block = 1024 + 32;
+    let cfg = ObliviousConfig::new(buffer_blocks, items);
+    let device = MemDevice::new(
+        ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, block),
+        block,
+    );
+    let sort_device = MemDevice::new(
+        ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
+        ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(block),
+    );
+    let mut store = ObliviousStore::new(
+        device,
+        sort_device,
+        cfg,
+        Key256::from_passphrase("bench"),
+        7,
+        None,
+    )
+    .unwrap();
+    for id in 0..items {
+        store.insert(id, vec![0xABu8; 1024]).unwrap();
+    }
+    store
+}
+
+fn bench_oblivious_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oblivious_read");
+    for (label, buffer, items) in [("k3", 64u64, 512u64), ("k5", 16, 512)] {
+        group.bench_with_input(BenchmarkId::new("height", label), &(), |b, _| {
+            let mut store = build_store(buffer, items);
+            let mut rng = HashDrbg::from_u64(5);
+            b.iter(|| {
+                let id = rng.gen_range(items);
+                store.read(id).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oblivious_overwrite(c: &mut Criterion) {
+    c.bench_function("oblivious_overwrite", |b| {
+        let mut store = build_store(32, 512);
+        let mut rng = HashDrbg::from_u64(6);
+        b.iter(|| {
+            let id = rng.gen_range(512);
+            store.write(id, vec![0x77u8; 1024]).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_oblivious_read, bench_oblivious_overwrite);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the update path: the Figure 6 relocating
+//! update at several utilisations, the in-place (ablation) update, and the
+//! idle-time dummy update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_base::StegFsConfig;
+use stegfs_blockdev::MemDevice;
+use stegfs_crypto::{HashDrbg, Key256};
+use steghide::{AgentConfig, FileId, NonVolatileAgent};
+
+const BLOCK_SIZE: usize = 512;
+
+fn agent_at_utilisation(util: f64, relocate: bool) -> (NonVolatileAgent<MemDevice>, FileId) {
+    let volume_blocks = 8192u64;
+    let cfg = if relocate {
+        AgentConfig::default()
+    } else {
+        AgentConfig::default().without_relocation()
+    };
+    let mut agent = NonVolatileAgent::format(
+        MemDevice::new(volume_blocks, BLOCK_SIZE),
+        StegFsConfig::default().with_block_size(BLOCK_SIZE).without_fill(),
+        cfg,
+        Key256::from_passphrase("bench"),
+        1,
+    )
+    .unwrap();
+    let per = agent.fs().content_bytes_per_block() as u64;
+    let id = agent
+        .create_file_sparse(&Key256::from_passphrase("u"), "/f", 128 * per)
+        .unwrap();
+    let target = (util * (volume_blocks - 1) as f64) as u64;
+    let mut filler = 0;
+    while agent.block_map().data_blocks() < target {
+        let chunk = (target - agent.block_map().data_blocks()).min(1500);
+        agent
+            .create_file_sparse(
+                &Key256::from_passphrase(&format!("filler{filler}")),
+                &format!("/filler{filler}"),
+                chunk * per,
+            )
+            .unwrap();
+        filler += 1;
+    }
+    (agent, id)
+}
+
+fn bench_figure6_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_update");
+    for util in [0.1f64, 0.25, 0.5] {
+        group.bench_with_input(BenchmarkId::new("utilisation", util), &util, |b, &util| {
+            let (mut agent, id) = agent_at_utilisation(util, true);
+            let per = agent.fs().content_bytes_per_block();
+            let payload = vec![0xEEu8; per];
+            let mut rng = HashDrbg::from_u64(9);
+            b.iter(|| {
+                let block = rng.gen_range(128);
+                agent.update_block(id, block, &payload).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inplace_vs_relocating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_ablation_25pct");
+    for (label, relocate) in [("relocating", true), ("in_place", false)] {
+        group.bench_function(label, |b| {
+            let (mut agent, id) = agent_at_utilisation(0.25, relocate);
+            let per = agent.fs().content_bytes_per_block();
+            let payload = vec![0x11u8; per];
+            let mut rng = HashDrbg::from_u64(3);
+            b.iter(|| {
+                let block = rng.gen_range(128);
+                agent.update_block(id, block, &payload).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dummy_update(c: &mut Criterion) {
+    c.bench_function("dummy_update", |b| {
+        let (mut agent, _id) = agent_at_utilisation(0.25, true);
+        b.iter(|| agent.dummy_updates(1).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_figure6_update, bench_inplace_vs_relocating, bench_dummy_update);
+criterion_main!(benches);

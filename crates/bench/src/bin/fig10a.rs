@@ -1,0 +1,34 @@
+//! Figure 10(a): file-retrieval access time versus file size, single user.
+//!
+//! The paper retrieves files of 2–10 MB from each of the five systems on an
+//! otherwise idle volume and plots the access time. Expected shape: the three
+//! steganographic systems are close to each other and grow linearly with the
+//! file size (every block is a random I/O); CleanDisk and FragDisk are far
+//! cheaper thanks to sequential I/O.
+
+use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_secs, print_table};
+
+fn main() {
+    let file_sizes_mb = [2u64, 4, 6, 8, 10];
+    let volume_blocks = 131_072; // 512 MB volume, utilisation well below 50 %.
+
+    let mut rows = Vec::new();
+    for &mb in &file_sizes_mb {
+        let blocks = mb * 1024 * 1024 / BLOCK_SIZE as u64;
+        let mut row = vec![format!("{mb}")];
+        for kind in SystemKind::all() {
+            let spec = BuildSpec::new(volume_blocks, vec![blocks], 42 + mb);
+            let mut bed = TestBed::build(kind, &spec);
+            bed.read_whole_file(0);
+            row.push(fmt_secs(bed.clock().now_us() as f64));
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 10(a): access time (s) of retrieving a file, vs file size (MB), single user",
+        &["file size (MB)", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &rows,
+    );
+}

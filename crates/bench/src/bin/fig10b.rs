@@ -1,0 +1,49 @@
+//! Figure 10(b): file-retrieval access time versus the number of concurrent
+//! users.
+//!
+//! Each of the `c` users retrieves its own 4 MB file; their block-level
+//! requests are interleaved round-robin on the shared simulated disk.
+//! Expected shape: the native file systems lose their sequential-I/O
+//! advantage as concurrency rises, so all five systems converge at high
+//! concurrency (the paper's crossover around 16 users).
+
+use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_secs, print_table};
+use stegfs_workload::RoundRobinDriver;
+
+fn main() {
+    let concurrency = [1usize, 2, 4, 8, 16, 32];
+    let file_mb = 4u64;
+    let file_blocks = file_mb * 1024 * 1024 / BLOCK_SIZE as u64;
+    let volume_blocks = 131_072; // 512 MB
+
+    let mut rows = Vec::new();
+    for &users in &concurrency {
+        let mut row = vec![format!("{users}")];
+        for kind in SystemKind::all() {
+            let spec = BuildSpec::new(volume_blocks, vec![file_blocks; users], 100 + users as u64);
+            let mut bed = TestBed::build(kind, &spec);
+            let clock = bed.clock().clone();
+            let tasks: Vec<Box<dyn FnMut(&mut TestBed) -> bool>> = (0..users)
+                .map(|u| {
+                    let total = file_blocks;
+                    let mut next = 0u64;
+                    Box::new(move |bed: &mut TestBed| {
+                        bed.read_block(u, next);
+                        next += 1;
+                        next == total
+                    }) as Box<dyn FnMut(&mut TestBed) -> bool>
+                })
+                .collect();
+            let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
+            row.push(fmt_secs(RoundRobinDriver::mean_elapsed_us(&timings)));
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 10(b): mean access time (s) of retrieving a 4 MB file, vs concurrency",
+        &["concurrency", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &rows,
+    );
+}

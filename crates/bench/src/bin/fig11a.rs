@@ -1,0 +1,41 @@
+//! Figure 11(a): single-block update access time versus space utilisation.
+//!
+//! Expected shape: StegHide and StegHide* grow with utilisation following the
+//! `E = N/D` analysis of Section 4.1.5, while StegFS, FragDisk and CleanDisk
+//! are flat (they update in place regardless of how full the volume is).
+
+use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_ms, print_table};
+use stegfs_crypto::HashDrbg;
+
+fn main() {
+    let utilisations = [0.1f64, 0.2, 0.3, 0.4, 0.5];
+    let volume_blocks = 32_768; // 128 MB volume
+    let file_blocks = 4 * 1024 * 1024 / BLOCK_SIZE as u64; // one 4 MB workload file
+    let updates_per_point = 200u64;
+
+    let mut rows = Vec::new();
+    for &util in &utilisations {
+        let mut row = vec![format!("{util:.1}")];
+        for kind in SystemKind::all() {
+            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 7)
+                .with_utilisation(util);
+            let mut bed = TestBed::build(kind, &spec);
+            let mut rng = HashDrbg::from_u64(999);
+            let t0 = bed.clock().now_us();
+            for _ in 0..updates_per_point {
+                let block = rng.gen_range(file_blocks);
+                bed.update_blocks(0, block, 1);
+            }
+            let elapsed = bed.clock().now_us() - t0;
+            row.push(fmt_ms(elapsed as f64 / updates_per_point as f64));
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 11(a): access time (ms) of updating one random data block, vs space utilisation",
+        &["utilisation", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &rows,
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 12(a): per-block access time of the oblivious storage versus the
+//! agent's buffer size, compared with a plain StegFS read.
+//!
+//! Expected shape: the oblivious store costs a small multiple (the paper
+//! reports 5–12×) of a single StegFS random-block read, and the cost falls as
+//! the buffer grows (fewer levels). The sweep reads through the whole store
+//! in random order, exactly as the paper's experiment does.
+
+use stegfs_bench::harness::{oblivious_sweep, table4_buffer_points, OBLIVIOUS_SCALE};
+use stegfs_bench::report::print_table;
+
+fn main() {
+    println!("(geometry scaled down by {OBLIVIOUS_SCALE}x, N/B ratios preserved)");
+    let mut rows = Vec::new();
+    for (mb, buffer_blocks) in table4_buffer_points() {
+        let sweep = oblivious_sweep(mb, buffer_blocks, 12_000 + mb);
+        rows.push(vec![
+            format!("{mb}"),
+            format!("{:.4}", sweep.mean_read_us / 1_000_000.0),
+            format!("{:.4}", sweep.stegfs_read_us / 1_000_000.0),
+            format!("{:.1}x", sweep.mean_read_us / sweep.stegfs_read_us),
+        ]);
+    }
+    print_table(
+        "Figure 12(a): access time (s) per block read, oblivious storage vs StegFS, vs buffer size (MB)",
+        &["buffer (MB)", "Obli-Store (s)", "StegFS (s)", "ratio"],
+        &rows,
+    );
+}

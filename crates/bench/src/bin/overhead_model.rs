@@ -1,0 +1,50 @@
+//! Section 4.1.5 validation: the expected update overhead `E = N/D`.
+//!
+//! For each space utilisation the binary measures the mean number of Figure 6
+//! block-selection iterations per data update (each iteration costs one
+//! read + one write) and compares it against the paper's closed form
+//! `E = N/D = 1 / (1 - utilisation)`.
+
+use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::print_table;
+use stegfs_crypto::HashDrbg;
+
+fn main() {
+    let utilisations = [0.05f64, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let volume_blocks = 32_768;
+    let file_blocks = 4 * 1024 * 1024 / BLOCK_SIZE as u64;
+    let updates = 400u64;
+
+    let mut rows = Vec::new();
+    for &util in &utilisations {
+        let analytic = 1.0 / (1.0 - util);
+        let mut row = vec![format!("{util:.2}"), format!("{analytic:.2}")];
+        for kind in [SystemKind::StegHide, SystemKind::StegHideStar] {
+            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 77)
+                .with_utilisation(util);
+            let mut bed = TestBed::build(kind, &spec);
+            let mut rng = HashDrbg::from_u64(5);
+            for _ in 0..updates {
+                let block = rng.gen_range(file_blocks);
+                bed.update_blocks(0, block, 1);
+            }
+            let stats = bed.agent_stats().expect("agent stats");
+            row.push(format!("{:.2}", stats.mean_iterations_per_data_update()));
+            row.push(format!("{:.2}", stats.mean_ios_per_data_update() / 2.0));
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Expected update overhead E = N/D (Section 4.1.5): analytic vs measured iterations per update",
+        &[
+            "utilisation",
+            "analytic N/D",
+            "StegHide iters",
+            "StegHide I/O factor",
+            "StegHide* iters",
+            "StegHide* I/O factor",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,72 @@
+//! Plain-text table output shared by all experiment binaries.
+
+/// Print a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Format simulated microseconds as seconds with three decimals.
+pub fn fmt_secs(us: f64) -> String {
+    format!("{:.3}", us / 1_000_000.0)
+}
+
+/// Format simulated microseconds as milliseconds with one decimal.
+pub fn fmt_ms(us: f64) -> String {
+    format!("{:.1}", us / 1_000.0)
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(2_500_000.0), "2.500");
+        assert_eq!(fmt_ms(2_500.0), "2.5");
+        assert_eq!(fmt_pct(0.256), "25.6%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".to_string()], vec!["22".to_string(), "333".to_string()]],
+        );
+    }
+}

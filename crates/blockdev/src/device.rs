@@ -1,0 +1,224 @@
+//! The block device trait and shared error/geometry types.
+
+/// Identifier of a physical block on the raw storage (block number, not a
+/// byte offset).
+pub type BlockId = u64;
+
+/// Errors returned by block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A block number beyond the end of the device was addressed.
+    OutOfRange {
+        /// The requested block.
+        block: BlockId,
+        /// Number of blocks on the device.
+        num_blocks: u64,
+    },
+    /// A buffer with the wrong length was supplied.
+    BadBufferSize {
+        /// Expected length (the device block size).
+        expected: usize,
+        /// Observed length.
+        got: usize,
+    },
+    /// An I/O error from a file-backed device.
+    Io(String),
+}
+
+impl core::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeviceError::OutOfRange { block, num_blocks } => {
+                write!(f, "block {block} out of range (device has {num_blocks} blocks)")
+            }
+            DeviceError::BadBufferSize { expected, got } => {
+                write!(f, "bad buffer size: expected {expected} bytes, got {got}")
+            }
+            DeviceError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<std::io::Error> for DeviceError {
+    fn from(e: std::io::Error) -> Self {
+        DeviceError::Io(e.to_string())
+    }
+}
+
+/// Static geometry of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceGeometry {
+    /// Number of blocks.
+    pub num_blocks: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+}
+
+impl DeviceGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_blocks * self.block_size as u64
+    }
+}
+
+/// A fixed-geometry array of blocks — the "raw storage" of the paper's system
+/// model. All StegFS structures, the baselines and the oblivious storage are
+/// built on top of this trait, so any of them can run over memory, a file, a
+/// tracing wrapper or the simulated disk.
+///
+/// Implementations must be usable from multiple threads (`&self` methods);
+/// interior mutability is expected. This mirrors a real shared network volume
+/// where many users route requests through the agent concurrently.
+pub trait BlockDevice: Send + Sync {
+    /// Number of blocks on the device.
+    fn num_blocks(&self) -> u64;
+
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Read block `block` into `buf` (whose length must equal the block size).
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), DeviceError>;
+
+    /// Write `buf` (whose length must equal the block size) to block `block`.
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError>;
+
+    /// Flush any caches to stable storage. Defaults to a no-op.
+    fn sync(&self) -> Result<(), DeviceError> {
+        Ok(())
+    }
+
+    /// Geometry of the device.
+    fn geometry(&self) -> DeviceGeometry {
+        DeviceGeometry {
+            num_blocks: self.num_blocks(),
+            block_size: self.block_size(),
+        }
+    }
+
+    /// Validate that `block` and `buf` are usable; helper for implementors.
+    fn check_access(&self, block: BlockId, buf_len: usize) -> Result<(), DeviceError> {
+        if block >= self.num_blocks() {
+            return Err(DeviceError::OutOfRange {
+                block,
+                num_blocks: self.num_blocks(),
+            });
+        }
+        if buf_len != self.block_size() {
+            return Err(DeviceError::BadBufferSize {
+                expected: self.block_size(),
+                got: buf_len,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Convenience extension methods available on every [`BlockDevice`].
+pub trait BlockDeviceExt: BlockDevice {
+    /// Read a block into a freshly allocated vector.
+    fn read_block_vec(&self, block: BlockId) -> Result<Vec<u8>, DeviceError> {
+        let mut buf = vec![0u8; self.block_size()];
+        self.read_block(block, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Fill a block with a repeated byte; mostly used by tests.
+    fn fill_block(&self, block: BlockId, byte: u8) -> Result<(), DeviceError> {
+        let buf = vec![byte; self.block_size()];
+        self.write_block(block, &buf)
+    }
+}
+
+impl<T: BlockDevice + ?Sized> BlockDeviceExt for T {}
+
+// Blanket implementations so devices can be shared behind Arc / references.
+impl<T: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<T> {
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        (**self).read_block(block, buf)
+    }
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_block(block, buf)
+    }
+    fn sync(&self) -> Result<(), DeviceError> {
+        (**self).sync()
+    }
+}
+
+impl<T: BlockDevice + ?Sized> BlockDevice for &T {
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        (**self).read_block(block, buf)
+    }
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_block(block, buf)
+    }
+    fn sync(&self) -> Result<(), DeviceError> {
+        (**self).sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+    use std::sync::Arc;
+
+    #[test]
+    fn geometry_capacity() {
+        let g = DeviceGeometry {
+            num_blocks: 1024,
+            block_size: 4096,
+        };
+        assert_eq!(g.capacity_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn arc_wrapper_delegates() {
+        let dev = Arc::new(MemDevice::new(8, 512));
+        assert_eq!(BlockDevice::num_blocks(&dev), 8);
+        dev.fill_block(3, 0xaa).unwrap();
+        let read = dev.read_block_vec(3).unwrap();
+        assert!(read.iter().all(|&b| b == 0xaa));
+    }
+
+    #[test]
+    fn check_access_rejects_bad_requests() {
+        let dev = MemDevice::new(4, 512);
+        assert!(matches!(
+            dev.check_access(4, 512),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.check_access(0, 100),
+            Err(DeviceError::BadBufferSize { .. })
+        ));
+        assert!(dev.check_access(3, 512).is_ok());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = DeviceError::OutOfRange {
+            block: 9,
+            num_blocks: 4,
+        };
+        assert!(e.to_string().contains("block 9"));
+        let e = DeviceError::BadBufferSize {
+            expected: 4096,
+            got: 100,
+        };
+        assert!(e.to_string().contains("4096"));
+    }
+}

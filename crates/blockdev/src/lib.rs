@@ -1,0 +1,36 @@
+//! # stegfs-blockdev
+//!
+//! The raw shared storage of the paper's system model (Section 3.2): a flat
+//! array of fixed-size blocks that the agent reads and writes, and that the
+//! attacker can snapshot (update analysis) or whose request stream the
+//! attacker can observe (traffic analysis).
+//!
+//! The crate provides:
+//!
+//! * [`BlockDevice`] — the storage trait (`read_block` / `write_block`).
+//! * [`MemDevice`] — in-memory backing store, used by tests, examples and the
+//!   benchmark harness.
+//! * [`FileDevice`] — file-backed store for persistence demos.
+//! * [`TracingDevice`] — wrapper that records every I/O request (the
+//!   traffic-analysis attacker's view) and can take full snapshots (the
+//!   update-analysis attacker's view).
+//! * [`sim::SimDevice`] — wrapper that charges every request to a
+//!   [`sim::DiskModel`] so experiments can report simulated elapsed time on
+//!   the paper's 2004-era Ultra-ATA disk.
+//! * [`IoStats`] — cheap shared counters of read/write/sequential/random I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod file;
+mod mem;
+pub mod sim;
+mod stats;
+mod trace;
+
+pub use device::{BlockDevice, BlockDeviceExt, BlockId, DeviceError, DeviceGeometry};
+pub use file::FileDevice;
+pub use mem::MemDevice;
+pub use stats::{IoCounters, IoStats};
+pub use trace::{IoKind, IoRecord, Snapshot, SnapshotDiff, TraceLog, TracingDevice};

@@ -1,0 +1,368 @@
+//! Simulated disk timing model.
+//!
+//! The paper's experiments (Section 6.2, Table 1) ran on a 20 GB Ultra-ATA/100
+//! disk attached to a Pentium 4 PC. Since the reproduction runs entirely in
+//! memory, this module substitutes a deterministic timing model for the
+//! physical disk: every block request is charged seek + rotational latency +
+//! transfer time, with requests that continue the previous request's position
+//! (the disk head) charged only transfer time.
+//!
+//! That distinction — random versus sequential I/O — is the sole mechanism
+//! behind every curve in the paper's evaluation:
+//!
+//! * steganographic file systems scatter blocks, so they pay a seek per block;
+//! * CleanDisk/FragDisk read contiguous runs, so they mostly pay transfer
+//!   time — until concurrent users interleave their requests and destroy the
+//!   sequential runs (Figures 10(b) and 11(c));
+//! * the oblivious storage's re-ordering passes are sequential merge-sort
+//!   sweeps, which is why sorting contributes fewer milliseconds than its I/O
+//!   count suggests (Figure 12(b)).
+//!
+//! The model is charged through [`SimDevice`], which wraps any
+//! [`BlockDevice`] and advances a shared [`SimClock`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::{BlockDevice, BlockId, DeviceError};
+use crate::stats::IoStats;
+
+/// Parameters of the simulated disk.
+///
+/// Defaults approximate the paper's 2004-era 20 GB Ultra-ATA/100 drive
+/// (7200 RPM class): 8.5 ms average seek, 4.17 ms average rotational latency,
+/// 40 MB/s sequential transfer and 0.1 ms controller overhead per request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average seek time for a random request, in microseconds.
+    pub avg_seek_us: u64,
+    /// Average rotational latency (half a revolution), in microseconds.
+    pub rotational_latency_us: u64,
+    /// Sequential transfer rate in bytes per second.
+    pub transfer_bytes_per_sec: u64,
+    /// Fixed per-request controller/command overhead in microseconds.
+    pub per_request_overhead_us: u64,
+    /// Threshold (in blocks) under which a forward skip is billed as a cheap
+    /// "near seek" (track-to-track) instead of a full average seek.
+    pub near_seek_window: u64,
+    /// Cost of a near seek in microseconds.
+    pub near_seek_us: u64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        Self::ultra_ata_2004()
+    }
+}
+
+impl DiskModel {
+    /// The drive class used in the paper's testbed (Table 1).
+    pub fn ultra_ata_2004() -> Self {
+        Self {
+            avg_seek_us: 8_500,
+            rotational_latency_us: 4_170,
+            transfer_bytes_per_sec: 40_000_000,
+            per_request_overhead_us: 100,
+            near_seek_window: 64,
+            near_seek_us: 1_500,
+        }
+    }
+
+    /// A modern-NVMe-like model (much smaller random penalty); useful for the
+    /// ablation benches that ask how the paper's trade-offs shift on current
+    /// hardware.
+    pub fn nvme_2020() -> Self {
+        Self {
+            avg_seek_us: 0,
+            rotational_latency_us: 80,
+            transfer_bytes_per_sec: 2_000_000_000,
+            per_request_overhead_us: 10,
+            near_seek_window: 0,
+            near_seek_us: 0,
+        }
+    }
+
+    /// Service time in microseconds for a request of `bytes` at `block`, given
+    /// the current head position.
+    pub fn service_time_us(&self, head: Option<BlockId>, block: BlockId, bytes: usize) -> u64 {
+        let transfer =
+            (bytes as u128 * 1_000_000u128 / self.transfer_bytes_per_sec as u128) as u64;
+        let positioning = match head {
+            // Continuing exactly after the previous request: streaming read,
+            // no positioning cost.
+            Some(h) if block == h + 1 || block == h => 0,
+            // Short forward skip within the near-seek window: track-to-track
+            // seek plus settle.
+            Some(h)
+                if self.near_seek_window > 0
+                    && block > h
+                    && block - h <= self.near_seek_window =>
+            {
+                self.near_seek_us
+            }
+            // Anything else: full average seek + rotational latency.
+            _ => self.avg_seek_us + self.rotational_latency_us,
+        };
+        self.per_request_overhead_us + positioning + transfer
+    }
+
+    /// Convenience: the cost of a single fully random block request.
+    pub fn random_block_us(&self, block_size: usize) -> u64 {
+        self.service_time_us(None, 1_000_000, block_size)
+    }
+
+    /// Convenience: the cost of one block inside a long sequential run.
+    pub fn sequential_block_us(&self, block_size: usize) -> u64 {
+        self.service_time_us(Some(41), 42, block_size)
+    }
+}
+
+/// Shared simulated clock and disk-head state.
+///
+/// The clock is global and the head position is global: all streams contend
+/// for the same disk, exactly as the paper's concurrent users contend for one
+/// spindle. A user's *access time* for an operation is the difference of
+/// [`SimClock::now_us`] around the operation, which therefore includes the
+/// queueing delay induced by other users — the effect behind Figures 10(b)
+/// and 11(c).
+#[derive(Clone, Default)]
+pub struct SimClock {
+    state: Arc<Mutex<ClockState>>,
+}
+
+#[derive(Default)]
+struct ClockState {
+    now_us: u64,
+    head: Option<BlockId>,
+    busy_us: u64,
+}
+
+impl SimClock {
+    /// New clock at time zero with an unknown head position.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.state.lock().now_us
+    }
+
+    /// Total time the disk spent servicing requests (equals `now_us` unless
+    /// idle time was injected).
+    pub fn busy_us(&self) -> u64 {
+        self.state.lock().busy_us
+    }
+
+    /// Advance the clock by a non-disk delay (e.g. CPU-side encryption cost).
+    pub fn advance_us(&self, us: u64) {
+        let mut s = self.state.lock();
+        s.now_us += us;
+    }
+
+    /// Charge one request against `model`; returns (service_us, was_sequential).
+    pub fn charge(&self, model: &DiskModel, block: BlockId, bytes: usize) -> (u64, bool) {
+        let mut s = self.state.lock();
+        let sequential = matches!(s.head, Some(h) if block == h + 1 || block == h);
+        let service = model.service_time_us(s.head, block, bytes);
+        s.now_us += service;
+        s.busy_us += service;
+        s.head = Some(block);
+        (service, sequential)
+    }
+
+    /// Reset time to zero and forget the head position.
+    pub fn reset(&self) {
+        let mut s = self.state.lock();
+        *s = ClockState::default();
+    }
+}
+
+/// A [`BlockDevice`] wrapper that charges every request to a [`DiskModel`] via
+/// a shared [`SimClock`] and tallies [`IoStats`].
+pub struct SimDevice<D> {
+    inner: D,
+    model: DiskModel,
+    clock: SimClock,
+    stats: IoStats,
+}
+
+impl<D: BlockDevice> SimDevice<D> {
+    /// Wrap `inner` with the default (paper-era) disk model.
+    pub fn new(inner: D) -> Self {
+        Self::with_model(inner, DiskModel::default())
+    }
+
+    /// Wrap `inner` with an explicit disk model.
+    pub fn with_model(inner: D, model: DiskModel) -> Self {
+        Self {
+            inner,
+            model,
+            clock: SimClock::new(),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// Wrap `inner`, sharing an existing clock (e.g. so a StegFS partition and
+    /// an oblivious-storage partition contend for the same simulated disk).
+    pub fn with_shared_clock(inner: D, model: DiskModel, clock: SimClock) -> Self {
+        Self {
+            inner,
+            model,
+            clock,
+            stats: IoStats::new(),
+        }
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The I/O statistics collected so far.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The timing model in use.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Access the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Consume the wrapper and return the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SimDevice<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.inner.read_block(block, buf)?;
+        let (_, sequential) = self.clock.charge(&self.model, block, buf.len());
+        self.stats.record_read(sequential);
+        Ok(())
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        self.inner.write_block(block, buf)?;
+        let (_, sequential) = self.clock.charge(&self.model, block, buf.len());
+        self.stats.record_write(sequential);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), DeviceError> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BlockDeviceExt;
+    use crate::mem::MemDevice;
+
+    #[test]
+    fn sequential_is_cheaper_than_random() {
+        let model = DiskModel::default();
+        let seq = model.sequential_block_us(4096);
+        let rnd = model.random_block_us(4096);
+        assert!(
+            rnd > 10 * seq,
+            "random ({rnd} us) should dwarf sequential ({seq} us)"
+        );
+    }
+
+    #[test]
+    fn near_seek_cheaper_than_full_seek() {
+        let model = DiskModel::default();
+        let near = model.service_time_us(Some(100), 110, 4096);
+        let far = model.service_time_us(Some(100), 100_000, 4096);
+        let back = model.service_time_us(Some(100), 50, 4096);
+        assert!(near < far);
+        // Backward skips always pay the full seek.
+        assert_eq!(back, far);
+    }
+
+    #[test]
+    fn clock_accumulates_and_detects_sequential_runs() {
+        let dev = SimDevice::new(MemDevice::new(1024, 4096));
+        // Sequential run of 10 blocks.
+        for b in 100..110 {
+            let _ = dev.read_block_vec(b).unwrap();
+        }
+        let seq_time = dev.clock().now_us();
+        let stats = dev.stats().snapshot();
+        assert_eq!(stats.reads, 10);
+        // First request is random (unknown head), rest sequential.
+        assert_eq!(stats.sequential, 9);
+        assert_eq!(stats.random, 1);
+
+        // Ten random blocks cost much more.
+        dev.clock().reset();
+        dev.stats().reset();
+        for b in [5u64, 900, 17, 463, 88, 702, 311, 999, 250, 601] {
+            let _ = dev.read_block_vec(b).unwrap();
+        }
+        let rnd_time = dev.clock().now_us();
+        assert!(rnd_time > 5 * seq_time, "{rnd_time} vs {seq_time}");
+    }
+
+    #[test]
+    fn rereading_same_block_counts_as_sequential() {
+        let dev = SimDevice::new(MemDevice::new(16, 512));
+        let _ = dev.read_block_vec(3).unwrap();
+        let _ = dev.read_block_vec(3).unwrap();
+        assert_eq!(dev.stats().snapshot().sequential, 1);
+    }
+
+    #[test]
+    fn shared_clock_accumulates_across_devices() {
+        let clock = SimClock::new();
+        let model = DiskModel::default();
+        let a = SimDevice::with_shared_clock(MemDevice::new(16, 512), model, clock.clone());
+        let b = SimDevice::with_shared_clock(MemDevice::new(16, 512), model, clock.clone());
+        let _ = a.read_block_vec(1).unwrap();
+        let t1 = clock.now_us();
+        let _ = b.read_block_vec(2).unwrap();
+        assert!(clock.now_us() > t1);
+    }
+
+    #[test]
+    fn advance_adds_idle_time_without_busy() {
+        let clock = SimClock::new();
+        clock.advance_us(500);
+        assert_eq!(clock.now_us(), 500);
+        assert_eq!(clock.busy_us(), 0);
+    }
+
+    #[test]
+    fn nvme_model_is_much_faster() {
+        let old = DiskModel::ultra_ata_2004();
+        let new = DiskModel::nvme_2020();
+        assert!(new.random_block_us(4096) * 20 < old.random_block_us(4096));
+    }
+
+    #[test]
+    fn default_model_random_block_cost_is_realistic() {
+        // ~12.8 ms for a random 4 KB request on the 2004 disk.
+        let us = DiskModel::default().random_block_us(4096);
+        assert!((10_000..16_000).contains(&us), "{us}");
+        // ~0.2 ms when streaming.
+        let us = DiskModel::default().sequential_block_us(4096);
+        assert!(us < 1_000, "{us}");
+    }
+}

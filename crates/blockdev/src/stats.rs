@@ -1,0 +1,160 @@
+//! Shared I/O counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time copy of the counters in an [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Number of block reads.
+    pub reads: u64,
+    /// Number of block writes.
+    pub writes: u64,
+    /// Requests whose block number immediately followed the previous request
+    /// from the same stream (sequential I/O).
+    pub sequential: u64,
+    /// Requests that required a seek (random I/O).
+    pub random: u64,
+}
+
+impl IoCounters {
+    /// Total number of I/O operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of operations that were sequential, in `[0, 1]`. Returns 0 for
+    /// an empty counter set.
+    pub fn sequential_fraction(&self) -> f64 {
+        let classified = self.sequential + self.random;
+        if classified == 0 {
+            0.0
+        } else {
+            self.sequential as f64 / classified as f64
+        }
+    }
+
+    /// Difference `self - earlier`, for measuring an interval.
+    pub fn since(&self, earlier: &IoCounters) -> IoCounters {
+        IoCounters {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            sequential: self.sequential - earlier.sequential,
+            random: self.random - earlier.random,
+        }
+    }
+}
+
+/// Cheap, cloneable, thread-safe I/O counters shared between a device wrapper
+/// and the harness that reports on it.
+#[derive(Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    sequential: AtomicU64,
+    random: AtomicU64,
+}
+
+impl IoStats {
+    /// Create a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read; `sequential` says whether it continued the previous
+    /// request of its stream.
+    pub fn record_read(&self, sequential: bool) {
+        self.inner.reads.fetch_add(1, Ordering::Relaxed);
+        self.record_locality(sequential);
+    }
+
+    /// Record a write.
+    pub fn record_write(&self, sequential: bool) {
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        self.record_locality(sequential);
+    }
+
+    fn record_locality(&self, sequential: bool) {
+        if sequential {
+            self.inner.sequential.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.random.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> IoCounters {
+        IoCounters {
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            sequential: self.inner.sequential.load(Ordering::Relaxed),
+            random: self.inner.random.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.inner.reads.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
+        self.inner.sequential.store(0, Ordering::Relaxed);
+        self.inner.random.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = IoStats::new();
+        stats.record_read(true);
+        stats.record_read(false);
+        stats.record_write(false);
+        let c = stats.snapshot();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.sequential, 1);
+        assert_eq!(c.random, 2);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn sequential_fraction() {
+        let stats = IoStats::new();
+        assert_eq!(stats.snapshot().sequential_fraction(), 0.0);
+        for _ in 0..3 {
+            stats.record_read(true);
+        }
+        stats.record_read(false);
+        let f = stats.snapshot().sequential_fraction();
+        assert!((f - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_computes_interval() {
+        let stats = IoStats::new();
+        stats.record_read(true);
+        let before = stats.snapshot();
+        stats.record_write(false);
+        stats.record_write(false);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.reads, 0);
+        assert_eq!(delta.writes, 2);
+    }
+
+    #[test]
+    fn clones_share_state_and_reset_works() {
+        let a = IoStats::new();
+        let b = a.clone();
+        a.record_read(true);
+        assert_eq!(b.snapshot().reads, 1);
+        b.reset();
+        assert_eq!(a.snapshot().reads, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Agent error type.
+
+use stegfs_base::FsError;
+
+/// Errors produced by the StegHide agents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// Error from the underlying steganographic file system.
+    Fs(FsError),
+    /// The referenced open file does not exist (never opened, or closed).
+    UnknownFile(u64),
+    /// The referenced session does not exist (never logged in, or logged out).
+    UnknownSession(u64),
+    /// The Figure 6 block-selection loop exceeded the configured safety bound;
+    /// indicates the volume is effectively out of dummy blocks.
+    UpdateRetriesExhausted {
+        /// Iterations attempted.
+        attempts: u32,
+    },
+    /// A dummy update was requested but the agent currently knows of no block
+    /// it could touch (volatile agent with no users logged in).
+    NothingToUpdate,
+    /// Data updates are not possible because the agent has no dummy blocks to
+    /// swap with.
+    NoDummyBlocks,
+    /// The supplied payload does not fit in one content block.
+    PayloadTooLarge {
+        /// Supplied payload size in bytes.
+        got: usize,
+        /// Maximum content bytes per block.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AgentError::Fs(e) => write!(f, "file system error: {e}"),
+            AgentError::UnknownFile(id) => write!(f, "unknown open file id {id}"),
+            AgentError::UnknownSession(id) => write!(f, "unknown session id {id}"),
+            AgentError::UpdateRetriesExhausted { attempts } => {
+                write!(f, "update retries exhausted after {attempts} iterations")
+            }
+            AgentError::NothingToUpdate => write!(f, "no blocks available for dummy updates"),
+            AgentError::NoDummyBlocks => write!(f, "no dummy blocks available for relocation"),
+            AgentError::PayloadTooLarge { got, max } => {
+                write!(f, "payload of {got} bytes exceeds block capacity of {max} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<FsError> for AgentError {
+    fn from(e: FsError) -> Self {
+        AgentError::Fs(e)
+    }
+}
+
+impl From<stegfs_blockdev::DeviceError> for AgentError {
+    fn from(e: stegfs_blockdev::DeviceError) -> Self {
+        AgentError::Fs(FsError::Device(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AgentError::UnknownFile(7).to_string().contains('7'));
+        assert!(AgentError::UpdateRetriesExhausted { attempts: 3 }
+            .to_string()
+            .contains('3'));
+        let e: AgentError = FsError::NoSuchFile.into();
+        assert!(e.to_string().contains("hidden file"));
+    }
+}

@@ -1,0 +1,402 @@
+//! Construction 1: the non-volatile agent (the paper's **StegHide\***).
+//!
+//! Section 4.1: the agent runs in a safe environment and owns a non-volatile
+//! memory holding exactly two secrets — the volume-wide block encryption key
+//! and the FAK of the dummy file. Every block on the volume is encrypted
+//! under the single agent key; user file access keys only determine *where* a
+//! file's header lives. Because the agent has a complete view of the volume,
+//! it may select any block as a dummy-update or relocation target.
+
+use stegfs_base::{BlockMap, FileAccessKey, StegFs, StegFsConfig};
+use stegfs_blockdev::BlockDevice;
+use stegfs_crypto::Key256;
+
+use crate::config::AgentConfig;
+use crate::error::AgentError;
+use crate::registry::FileId;
+use crate::stats::UpdateStats;
+use crate::update::{AgentCore, UpdateOutcome};
+
+/// The non-volatile agent (StegHide\*).
+pub struct NonVolatileAgent<D> {
+    core: AgentCore<D>,
+    agent_key: Key256,
+    dummy_fak: FileAccessKey,
+}
+
+impl<D: BlockDevice> NonVolatileAgent<D> {
+    /// Format `device` as a fresh volume managed by this agent.
+    ///
+    /// `agent_key` is the secret the agent keeps in its non-volatile memory;
+    /// `seed` drives all pseudo-random choices (block scattering, IVs, dummy
+    /// targets) so experiments are reproducible.
+    pub fn format(
+        device: D,
+        fs_cfg: StegFsConfig,
+        agent_cfg: AgentConfig,
+        agent_key: Key256,
+        seed: u64,
+    ) -> Result<Self, AgentError> {
+        let (fs, mut map) = StegFs::format(device, fs_cfg, seed)?;
+        // The paper's construction keeps a dummy file whose FAK the agent
+        // holds; all abandoned blocks conceptually belong to it. We
+        // materialise its header so the construction is complete, while the
+        // abandoned pool itself is tracked by the block map.
+        let dummy_fak = FileAccessKey::from_parts(
+            agent_key.derive("steghide:dummy-file:location"),
+            agent_key,
+            Some(agent_key),
+        );
+        fs.create_dummy_file(&mut map, "/.steghide-dummy", &dummy_fak, 1)?;
+        let core = AgentCore::new(fs, map, agent_cfg, seed ^ 0x5deece66d, Some(agent_key));
+        Ok(Self {
+            core,
+            agent_key,
+            dummy_fak,
+        })
+    }
+
+    /// Re-attach the agent to an existing volume using its persistent secrets
+    /// and the block map it saved (see [`NonVolatileAgent::export_block_map`]).
+    pub fn mount(
+        device: D,
+        agent_cfg: AgentConfig,
+        agent_key: Key256,
+        block_map: BlockMap,
+        seed: u64,
+    ) -> Result<Self, AgentError> {
+        let fs = StegFs::mount(device)?;
+        let dummy_fak = FileAccessKey::from_parts(
+            agent_key.derive("steghide:dummy-file:location"),
+            agent_key,
+            Some(agent_key),
+        );
+        let core = AgentCore::new(fs, block_map, agent_cfg, seed ^ 0x5deece66d, Some(agent_key));
+        Ok(Self {
+            core,
+            agent_key,
+            dummy_fak,
+        })
+    }
+
+    /// Serialize the agent's block map — the state it persists alongside its
+    /// key so that a later [`NonVolatileAgent::mount`] has the complete view.
+    pub fn export_block_map(&self) -> Vec<u8> {
+        self.core.map.to_bytes()
+    }
+
+    /// The FAK of the agent-held dummy file.
+    pub fn dummy_file_key(&self) -> &FileAccessKey {
+        &self.dummy_fak
+    }
+
+    /// Effective FAK for a user file: the location comes from the user's
+    /// secret and path, while header and content are encrypted under the
+    /// agent's volume-wide key (Section 4.1.2: "the agent keeps two keys
+    /// \[...\] the other is the secret key for encrypting all the storage
+    /// blocks").
+    fn effective_fak(&self, user_secret: &Key256) -> FileAccessKey {
+        FileAccessKey::from_parts(
+            user_secret.derive("steghide:location"),
+            self.agent_key,
+            Some(self.agent_key),
+        )
+    }
+
+    /// Create a hidden file for a user and leave it open; returns its id.
+    pub fn create_file(
+        &mut self,
+        user_secret: &Key256,
+        path: &str,
+        content: &[u8],
+    ) -> Result<FileId, AgentError> {
+        let fak = self.effective_fak(user_secret);
+        let file = self
+            .core
+            .fs
+            .create_file(&mut self.core.map, path, &fak, content)?;
+        Ok(self.core.registry.register(file))
+    }
+
+    /// Create a hidden file of `size` bytes without writing its content
+    /// blocks (benchmark set-up helper; reads and updates behave identically
+    /// to a fully written file).
+    pub fn create_file_sparse(
+        &mut self,
+        user_secret: &Key256,
+        path: &str,
+        size: u64,
+    ) -> Result<FileId, AgentError> {
+        let fak = self.effective_fak(user_secret);
+        let file = self
+            .core
+            .fs
+            .create_file_sparse(&mut self.core.map, path, &fak, size)?;
+        Ok(self.core.registry.register(file))
+    }
+
+    /// Open an existing hidden file; returns its id.
+    pub fn open_file(&mut self, user_secret: &Key256, path: &str) -> Result<FileId, AgentError> {
+        let fak = self.effective_fak(user_secret);
+        let file = self.core.fs.open_file(&fak, path)?;
+        Ok(self.core.registry.register(file))
+    }
+
+    /// Save (if dirty) and close an open file.
+    pub fn close_file(&mut self, id: FileId) -> Result<(), AgentError> {
+        self.core.save_file(id)?;
+        self.core
+            .registry
+            .unregister(id)
+            .ok_or(AgentError::UnknownFile(id))?;
+        Ok(())
+    }
+
+    /// Read a whole open file.
+    pub fn read_file(&self, id: FileId) -> Result<Vec<u8>, AgentError> {
+        self.core.read_file(id)
+    }
+
+    /// Read one content block of an open file.
+    pub fn read_block(&self, id: FileId, index: u64) -> Result<Vec<u8>, AgentError> {
+        self.core.read_content_block(id, index)
+    }
+
+    /// Number of content blocks of an open file.
+    pub fn num_blocks(&self, id: FileId) -> Result<u64, AgentError> {
+        Ok(self
+            .core
+            .registry
+            .get(id)
+            .ok_or(AgentError::UnknownFile(id))?
+            .num_content_blocks())
+    }
+
+    /// Update one content block using the Figure 6 algorithm.
+    pub fn update_block(
+        &mut self,
+        id: FileId,
+        index: u64,
+        payload: &[u8],
+    ) -> Result<UpdateOutcome, AgentError> {
+        self.core.update_content_block(id, index, payload)
+    }
+
+    /// Update `count` consecutive content blocks starting at `start_index`,
+    /// filling each with `fill` — the paper's "update range" workload
+    /// (Figure 11(b)).
+    pub fn update_range_fill(
+        &mut self,
+        id: FileId,
+        start_index: u64,
+        count: u64,
+        fill: u8,
+    ) -> Result<Vec<UpdateOutcome>, AgentError> {
+        let payload = vec![fill; self.core.fs.content_bytes_per_block()];
+        let mut outcomes = Vec::with_capacity(count as usize);
+        for i in start_index..start_index + count {
+            outcomes.push(self.core.update_content_block(id, i, &payload)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Save the cached header of an open file.
+    pub fn save_file(&mut self, id: FileId) -> Result<(), AgentError> {
+        self.core.save_file(id)
+    }
+
+    /// Save every dirty cached header.
+    pub fn flush(&mut self) -> Result<(), AgentError> {
+        self.core.flush_dirty_headers()
+    }
+
+    /// Delete an open file, returning its blocks to the dummy pool.
+    pub fn delete_file(&mut self, id: FileId) -> Result<(), AgentError> {
+        let file = self
+            .core
+            .registry
+            .unregister(id)
+            .ok_or(AgentError::UnknownFile(id))?;
+        self.core.fs.delete_file(&mut self.core.map, file)?;
+        Ok(())
+    }
+
+    /// Perform the configured number of idle-time dummy updates
+    /// (Section 4.1.3); returns the blocks touched.
+    pub fn tick_idle(&mut self) -> Result<Vec<u64>, AgentError> {
+        let n = self.core.cfg.dummy_updates_per_tick;
+        let mut touched = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            touched.push(self.core.dummy_update_once()?);
+        }
+        Ok(touched)
+    }
+
+    /// Issue exactly `n` dummy updates (used by experiments that control the
+    /// dummy/data mix precisely).
+    pub fn dummy_updates(&mut self, n: u64) -> Result<(), AgentError> {
+        for _ in 0..n {
+            self.core.dummy_update_once()?;
+        }
+        Ok(())
+    }
+
+    /// Update statistics collected so far.
+    pub fn stats(&self) -> UpdateStats {
+        self.core.stats
+    }
+
+    /// Current space utilisation (`data blocks / payload blocks`).
+    pub fn utilisation(&self) -> f64 {
+        self.core.map.utilisation()
+    }
+
+    /// The underlying file system (for experiment plumbing).
+    pub fn fs(&self) -> &StegFs<D> {
+        &self.core.fs
+    }
+
+    /// The agent's block map.
+    pub fn block_map(&self) -> &BlockMap {
+        &self.core.map
+    }
+
+    /// Consume the agent and return the underlying device.
+    pub fn into_device(self) -> D
+    where
+        D: Sized,
+    {
+        // StegFs does not expose into_inner; reconstruct via drop order is
+        // not possible, so expose the device by value through the fs.
+        self.core.fs.into_device()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_base::BlockClass;
+    use stegfs_blockdev::MemDevice;
+
+    fn new_agent(num_blocks: u64) -> NonVolatileAgent<MemDevice> {
+        NonVolatileAgent::format(
+            MemDevice::new(num_blocks, 512),
+            StegFsConfig::default().with_block_size(512),
+            AgentConfig::default(),
+            Key256::from_passphrase("agent secret"),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_update_read_roundtrip() {
+        let mut agent = new_agent(512);
+        let user = Key256::from_passphrase("alice");
+        let per = agent.fs().content_bytes_per_block();
+        let content = vec![1u8; per * 5];
+        let id = agent.create_file(&user, "/alice/db", &content).unwrap();
+        assert_eq!(agent.num_blocks(id).unwrap(), 5);
+
+        let new_block = vec![7u8; per];
+        agent.update_block(id, 3, &new_block).unwrap();
+        let read = agent.read_file(id).unwrap();
+        assert_eq!(&read[3 * per..4 * per], &new_block[..]);
+        assert_eq!(&read[..per], &content[..per]);
+
+        // Close and reopen: relocations must have been persisted.
+        agent.close_file(id).unwrap();
+        let id2 = agent.open_file(&user, "/alice/db").unwrap();
+        let read2 = agent.read_file(id2).unwrap();
+        assert_eq!(read2, read);
+    }
+
+    #[test]
+    fn mount_with_exported_map_preserves_view() {
+        let mut agent = new_agent(256);
+        let user = Key256::from_passphrase("bob");
+        let per = agent.fs().content_bytes_per_block();
+        let id = agent.create_file(&user, "/bob/f", &vec![9u8; per * 2]).unwrap();
+        agent.close_file(id).unwrap();
+        let map_bytes = agent.export_block_map();
+        let data_blocks = agent.block_map().data_blocks();
+
+        let device = agent.into_device();
+        let map = BlockMap::from_bytes(&map_bytes).unwrap();
+        let mut remounted = NonVolatileAgent::mount(
+            device,
+            AgentConfig::default(),
+            Key256::from_passphrase("agent secret"),
+            map,
+            99,
+        )
+        .unwrap();
+        assert_eq!(remounted.block_map().data_blocks(), data_blocks);
+        let id = remounted.open_file(&user, "/bob/f").unwrap();
+        assert_eq!(remounted.read_file(id).unwrap(), vec![9u8; per * 2]);
+    }
+
+    #[test]
+    fn wrong_user_secret_cannot_open() {
+        let mut agent = new_agent(256);
+        let user = Key256::from_passphrase("alice");
+        agent.create_file(&user, "/f", b"secret").unwrap();
+        let wrong = Key256::from_passphrase("eve");
+        assert!(agent.open_file(&wrong, "/f").is_err());
+    }
+
+    #[test]
+    fn tick_idle_issues_dummy_updates_without_corruption() {
+        let mut agent = new_agent(256);
+        let user = Key256::from_passphrase("alice");
+        let content = vec![3u8; 1000];
+        let id = agent.create_file(&user, "/f", &content).unwrap();
+        for _ in 0..50 {
+            agent.tick_idle().unwrap();
+        }
+        assert_eq!(agent.stats().dummy_updates, 50);
+        assert_eq!(agent.read_file(id).unwrap(), content);
+    }
+
+    #[test]
+    fn delete_restores_dummy_pool() {
+        let mut agent = new_agent(256);
+        let user = Key256::from_passphrase("alice");
+        let before = agent.block_map().dummy_blocks();
+        let id = agent.create_file(&user, "/f", &vec![1u8; 3000]).unwrap();
+        assert!(agent.block_map().dummy_blocks() < before);
+        agent.delete_file(id).unwrap();
+        assert_eq!(agent.block_map().dummy_blocks(), before);
+        assert!(agent.read_file(id).is_err());
+    }
+
+    #[test]
+    fn relocation_moves_block_to_dummy_class_target() {
+        let mut agent = new_agent(1024);
+        let user = Key256::from_passphrase("alice");
+        let per = agent.fs().content_bytes_per_block();
+        let id = agent.create_file(&user, "/f", &vec![1u8; per * 2]).unwrap();
+        // Force enough updates that at least one relocation occurs.
+        let mut saw_relocation = false;
+        for i in 0..20u64 {
+            if let UpdateOutcome::Relocated { from, to } =
+                agent.update_block(id, 0, &vec![i as u8; per]).unwrap()
+            {
+                saw_relocation = true;
+                assert_eq!(agent.block_map().class(from), BlockClass::Dummy);
+                assert_eq!(agent.block_map().class(to), BlockClass::Data);
+            }
+        }
+        assert!(saw_relocation);
+    }
+
+    #[test]
+    fn utilisation_reflects_allocations() {
+        let mut agent = new_agent(512);
+        assert!(agent.utilisation() < 0.02);
+        let user = Key256::from_passphrase("u");
+        let per = agent.fs().content_bytes_per_block();
+        agent.create_file(&user, "/f", &vec![0u8; per * 100]).unwrap();
+        assert!(agent.utilisation() > 0.15);
+    }
+}

@@ -1,0 +1,104 @@
+//! Counters describing the agent's update activity.
+
+/// Counters collected by an agent while servicing updates and idle ticks.
+///
+/// The key figure of merit is [`UpdateStats::mean_iterations_per_data_update`],
+/// which the paper's analysis predicts to be `E = N/D` (Section 4.1.5) — the
+/// reciprocal of the dummy-block fraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Number of user-requested (data) updates serviced.
+    pub data_updates: u64,
+    /// Number of dummy updates issued (both idle-tick dummies and the
+    /// dummy updates produced by retries inside the Figure 6 loop).
+    pub dummy_updates: u64,
+    /// Number of data updates that relocated the block to a new position.
+    pub relocations: u64,
+    /// Number of data updates that landed back on the same block (the
+    /// `B2 = B1` branch of Figure 6).
+    pub in_place: u64,
+    /// Total block-selection iterations across all data updates.
+    pub iterations: u64,
+    /// Total physical block reads issued by the agent's update machinery.
+    pub block_reads: u64,
+    /// Total physical block writes issued by the agent's update machinery.
+    pub block_writes: u64,
+}
+
+impl UpdateStats {
+    /// Mean number of Figure 6 iterations per data update; the paper's
+    /// expected value is `N/D`.
+    pub fn mean_iterations_per_data_update(&self) -> f64 {
+        if self.data_updates == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.data_updates as f64
+        }
+    }
+
+    /// Mean number of I/Os (reads + writes) per data update. A conventional
+    /// file system uses 2; the paper's expected overhead factor is therefore
+    /// `mean_ios_per_data_update() / 2 = N/D`.
+    pub fn mean_ios_per_data_update(&self) -> f64 {
+        if self.data_updates == 0 {
+            0.0
+        } else {
+            (self.block_reads + self.block_writes) as f64 / self.data_updates as f64
+        }
+    }
+
+    /// Difference `self - earlier`, for measuring one experiment phase.
+    pub fn since(&self, earlier: &UpdateStats) -> UpdateStats {
+        UpdateStats {
+            data_updates: self.data_updates - earlier.data_updates,
+            dummy_updates: self.dummy_updates - earlier.dummy_updates,
+            relocations: self.relocations - earlier.relocations,
+            in_place: self.in_place - earlier.in_place,
+            iterations: self.iterations - earlier.iterations,
+            block_reads: self.block_reads - earlier.block_reads,
+            block_writes: self.block_writes - earlier.block_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_zero_updates() {
+        let s = UpdateStats::default();
+        assert_eq!(s.mean_iterations_per_data_update(), 0.0);
+        assert_eq!(s.mean_ios_per_data_update(), 0.0);
+    }
+
+    #[test]
+    fn means_compute_ratios() {
+        let s = UpdateStats {
+            data_updates: 10,
+            iterations: 25,
+            block_reads: 25,
+            block_writes: 25,
+            ..Default::default()
+        };
+        assert!((s.mean_iterations_per_data_update() - 2.5).abs() < 1e-9);
+        assert!((s.mean_ios_per_data_update() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let a = UpdateStats {
+            data_updates: 3,
+            dummy_updates: 10,
+            ..Default::default()
+        };
+        let b = UpdateStats {
+            data_updates: 5,
+            dummy_updates: 12,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.data_updates, 2);
+        assert_eq!(d.dummy_updates, 2);
+    }
+}

@@ -1,0 +1,590 @@
+//! Construction 2: the volatile agent (the paper's **StegHide**).
+//!
+//! Section 4.2: the agent keeps *no* persistent secrets. Each hidden file is
+//! encrypted under its own keys, dummy blocks are organised into per-user
+//! dummy files "of approximately the size of data files", and both kinds of
+//! FAK are disclosed to the agent only when the user logs on. When the agent
+//! starts it has zero knowledge of the volume; its view — and therefore the
+//! region of storage it dummy-updates — grows as users log in, and is
+//! forgotten again at logout or restart.
+
+use std::collections::HashMap;
+
+use stegfs_base::{BlockClass, BlockMap, FileAccessKey, StegFs, StegFsConfig};
+use stegfs_blockdev::BlockDevice;
+
+use crate::config::AgentConfig;
+use crate::error::AgentError;
+use crate::registry::FileId;
+use crate::stats::UpdateStats;
+use crate::update::{AgentCore, UpdateOutcome};
+
+/// Identifier of a login session.
+pub type SessionId = u64;
+
+/// One (path, FAK) pair a user discloses when logging on. Users disclose
+/// their hidden files *and* their dummy files — the agent cannot tell which
+/// is which until it opens the header, and the distinction never leaves the
+/// agent's volatile memory.
+#[derive(Debug, Clone)]
+pub struct UserCredential {
+    /// Path of the file.
+    pub path: String,
+    /// File access key.
+    pub fak: FileAccessKey,
+}
+
+impl UserCredential {
+    /// Convenience constructor.
+    pub fn new(path: impl Into<String>, fak: FileAccessKey) -> Self {
+        Self {
+            path: path.into(),
+            fak,
+        }
+    }
+}
+
+struct Session {
+    user: String,
+    files: Vec<FileId>,
+}
+
+/// The volatile agent (StegHide).
+pub struct VolatileAgent<D> {
+    core: AgentCore<D>,
+    sessions: HashMap<SessionId, Session>,
+    next_session: SessionId,
+}
+
+impl<D: BlockDevice> VolatileAgent<D> {
+    /// Format `device` as a fresh volume. The returned agent's block map
+    /// reflects the freshly formatted (all-dummy) volume, which makes it
+    /// suitable for the provisioning phase: creating users' initial hidden
+    /// and dummy files before the system goes live. A production agent would
+    /// then restart (see [`VolatileAgent::into_device`] +
+    /// [`VolatileAgent::mount`]) and run with zero knowledge.
+    pub fn format(
+        device: D,
+        fs_cfg: StegFsConfig,
+        agent_cfg: AgentConfig,
+        seed: u64,
+    ) -> Result<Self, AgentError> {
+        let (fs, map) = StegFs::format(device, fs_cfg, seed)?;
+        Ok(Self {
+            core: AgentCore::new(fs, map, agent_cfg, seed ^ 0x9e3779b9, None),
+            sessions: HashMap::new(),
+            next_session: 1,
+        })
+    }
+
+    /// Attach to an existing volume with zero knowledge: every payload block
+    /// starts out [`BlockClass::Unknown`] and the agent will only ever touch
+    /// blocks of files that logged-in users disclose.
+    pub fn mount(device: D, agent_cfg: AgentConfig, seed: u64) -> Result<Self, AgentError> {
+        let fs = StegFs::mount(device)?;
+        let map = BlockMap::new_unknown(fs.superblock().num_blocks);
+        Ok(Self {
+            core: AgentCore::new(fs, map, agent_cfg, seed ^ 0x9e3779b9, None),
+            sessions: HashMap::new(),
+            next_session: 1,
+        })
+    }
+
+    /// Provision a hidden file during the set-up phase (requires a map with
+    /// known dummy blocks, i.e. an agent obtained from
+    /// [`VolatileAgent::format`] or with users logged in whose dummy files
+    /// can donate blocks).
+    pub fn provision_file(
+        &mut self,
+        path: &str,
+        fak: &FileAccessKey,
+        content: &[u8],
+    ) -> Result<(), AgentError> {
+        self.core
+            .fs
+            .create_file(&mut self.core.map, path, fak, content)?;
+        Ok(())
+    }
+
+    /// Provision a hidden file of `size` bytes without writing its content
+    /// blocks (benchmark set-up helper).
+    pub fn provision_file_sparse(
+        &mut self,
+        path: &str,
+        fak: &FileAccessKey,
+        size: u64,
+    ) -> Result<(), AgentError> {
+        self.core
+            .fs
+            .create_file_sparse(&mut self.core.map, path, fak, size)?;
+        Ok(())
+    }
+
+    /// Provision a dummy file of `num_blocks` blocks during the set-up phase.
+    pub fn provision_dummy_file(
+        &mut self,
+        path: &str,
+        fak: &FileAccessKey,
+        num_blocks: u64,
+    ) -> Result<(), AgentError> {
+        self.core
+            .fs
+            .create_dummy_file(&mut self.core.map, path, fak, num_blocks)?;
+        Ok(())
+    }
+
+    /// Provision a dummy file without re-randomising its content blocks (they
+    /// already hold random bytes on a formatted volume); benchmark set-up
+    /// helper.
+    pub fn provision_dummy_file_sparse(
+        &mut self,
+        path: &str,
+        fak: &FileAccessKey,
+        num_blocks: u64,
+    ) -> Result<(), AgentError> {
+        self.core
+            .fs
+            .create_dummy_file_sparse(&mut self.core.map, path, fak, num_blocks)?;
+        Ok(())
+    }
+
+    /// Log a user on: open every disclosed file and add its blocks to the
+    /// agent's view. Returns the session id.
+    pub fn login(
+        &mut self,
+        user: &str,
+        credentials: &[UserCredential],
+    ) -> Result<SessionId, AgentError> {
+        let mut files = Vec::with_capacity(credentials.len());
+        for cred in credentials {
+            let file = self.core.fs.open_file(&cred.fak, &cred.path)?;
+            self.core.fs.register_file(&mut self.core.map, &file);
+            files.push(self.core.registry.register(file));
+        }
+        let session = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            session,
+            Session {
+                user: user.to_string(),
+                files,
+            },
+        );
+        Ok(session)
+    }
+
+    /// Log a user off: persist any dirty headers, then forget the files, keys
+    /// and block classifications contributed by the session.
+    pub fn logout(&mut self, session: SessionId) -> Result<(), AgentError> {
+        let state = self
+            .sessions
+            .remove(&session)
+            .ok_or(AgentError::UnknownSession(session))?;
+        for id in state.files {
+            self.core.save_file(id)?;
+            if let Some(file) = self.core.registry.unregister(id) {
+                for b in file.all_blocks() {
+                    self.core.map.set(b, BlockClass::Unknown);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Users currently logged in.
+    pub fn logged_in_users(&self) -> Vec<String> {
+        let mut users: Vec<String> = self.sessions.values().map(|s| s.user.clone()).collect();
+        users.sort();
+        users
+    }
+
+    /// File ids registered by a session, in the order the credentials were
+    /// supplied at login.
+    pub fn session_files(&self, session: SessionId) -> Result<Vec<FileId>, AgentError> {
+        Ok(self
+            .sessions
+            .get(&session)
+            .ok_or(AgentError::UnknownSession(session))?
+            .files
+            .clone())
+    }
+
+    fn check_ownership(&self, session: SessionId, id: FileId) -> Result<(), AgentError> {
+        let s = self
+            .sessions
+            .get(&session)
+            .ok_or(AgentError::UnknownSession(session))?;
+        if s.files.contains(&id) {
+            Ok(())
+        } else {
+            Err(AgentError::UnknownFile(id))
+        }
+    }
+
+    /// Create a new hidden file for a logged-in user by converting blocks of
+    /// the user's own dummy files into data blocks. This is how new data
+    /// enters the system at runtime without the agent needing any global
+    /// free-space knowledge.
+    pub fn create_file_from_dummies(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        fak: &FileAccessKey,
+        content: &[u8],
+    ) -> Result<FileId, AgentError> {
+        self.sessions
+            .get(&session)
+            .ok_or(AgentError::UnknownSession(session))?;
+        let file = self
+            .core
+            .fs
+            .create_file(&mut self.core.map, path, fak, content)?;
+        self.core.fs.register_file(&mut self.core.map, &file);
+
+        // Creating the file consumed blocks that the map classified as dummy;
+        // under the volatile agent those blocks belong to disclosed dummy
+        // files, whose headers must stop referencing them. Shrink each
+        // affected dummy file accordingly.
+        let consumed: Vec<u64> = file.all_blocks();
+        for block in consumed {
+            if let Some((owner, crate::registry::BlockRole::Content(_))) =
+                self.core.registry.owner_of(block)
+            {
+                if self
+                    .core
+                    .registry
+                    .get(owner)
+                    .map(|f| f.is_dummy())
+                    .unwrap_or(false)
+                {
+                    if let Some(dummy) = self.core.registry.get_mut(owner) {
+                        dummy.header.blocks.retain(|&b| b != block);
+                        let remaining = dummy.header.blocks.len() as u64;
+                        dummy.header.file_size = remaining * self.core.fs.content_bytes_per_block() as u64;
+                        dummy.dirty = true;
+                    }
+                    // Rebuild the reverse index for the shrunk dummy file.
+                    self.reindex_file(owner);
+                }
+            }
+        }
+
+        let id = self.core.registry.register(file);
+        self.sessions
+            .get_mut(&session)
+            .expect("session checked above")
+            .files
+            .push(id);
+        Ok(id)
+    }
+
+    fn reindex_file(&mut self, id: FileId) {
+        if let Some(file) = self.core.registry.unregister(id) {
+            let new_id = self.core.registry.register(file);
+            // Keep session bookkeeping consistent with the new id.
+            for s in self.sessions.values_mut() {
+                for fid in s.files.iter_mut() {
+                    if *fid == id {
+                        *fid = new_id;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read a whole file.
+    pub fn read_file(&self, session: SessionId, id: FileId) -> Result<Vec<u8>, AgentError> {
+        self.check_ownership(session, id)?;
+        self.core.read_file(id)
+    }
+
+    /// Read one content block.
+    pub fn read_block(
+        &self,
+        session: SessionId,
+        id: FileId,
+        index: u64,
+    ) -> Result<Vec<u8>, AgentError> {
+        self.check_ownership(session, id)?;
+        self.core.read_content_block(id, index)
+    }
+
+    /// Number of content blocks of an open file.
+    pub fn num_blocks(&self, session: SessionId, id: FileId) -> Result<u64, AgentError> {
+        self.check_ownership(session, id)?;
+        Ok(self
+            .core
+            .registry
+            .get(id)
+            .ok_or(AgentError::UnknownFile(id))?
+            .num_content_blocks())
+    }
+
+    /// Update one content block with the Figure 6 algorithm. Relocation
+    /// targets are drawn from the dummy blocks disclosed by logged-in users.
+    pub fn update_block(
+        &mut self,
+        session: SessionId,
+        id: FileId,
+        index: u64,
+        payload: &[u8],
+    ) -> Result<UpdateOutcome, AgentError> {
+        self.check_ownership(session, id)?;
+        self.core.update_content_block(id, index, payload)
+    }
+
+    /// Update `count` consecutive blocks with a fill byte (Figure 11(b)'s
+    /// range-update workload).
+    pub fn update_range_fill(
+        &mut self,
+        session: SessionId,
+        id: FileId,
+        start_index: u64,
+        count: u64,
+        fill: u8,
+    ) -> Result<Vec<UpdateOutcome>, AgentError> {
+        self.check_ownership(session, id)?;
+        let payload = vec![fill; self.core.fs.content_bytes_per_block()];
+        let mut out = Vec::with_capacity(count as usize);
+        for i in start_index..start_index + count {
+            out.push(self.core.update_content_block(id, i, &payload)?);
+        }
+        Ok(out)
+    }
+
+    /// Save the cached header of one file.
+    pub fn save_file(&mut self, session: SessionId, id: FileId) -> Result<(), AgentError> {
+        self.check_ownership(session, id)?;
+        self.core.save_file(id)
+    }
+
+    /// Save every dirty cached header.
+    pub fn flush(&mut self) -> Result<(), AgentError> {
+        self.core.flush_dirty_headers()
+    }
+
+    /// Perform the configured number of idle-time dummy updates over the
+    /// blocks the agent currently knows about. With nobody logged in this
+    /// returns [`AgentError::NothingToUpdate`] — there is literally nothing
+    /// the agent can touch, which is the price of volatility the paper notes.
+    pub fn tick_idle(&mut self) -> Result<Vec<u64>, AgentError> {
+        let n = self.core.cfg.dummy_updates_per_tick;
+        let mut touched = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            touched.push(self.core.dummy_update_once()?);
+        }
+        Ok(touched)
+    }
+
+    /// Issue exactly `n` dummy updates.
+    pub fn dummy_updates(&mut self, n: u64) -> Result<(), AgentError> {
+        for _ in 0..n {
+            self.core.dummy_update_once()?;
+        }
+        Ok(())
+    }
+
+    /// Update statistics collected so far.
+    pub fn stats(&self) -> UpdateStats {
+        self.core.stats
+    }
+
+    /// Current space utilisation over the *known* region of the volume.
+    pub fn utilisation(&self) -> f64 {
+        self.core.map.utilisation()
+    }
+
+    /// The underlying file system.
+    pub fn fs(&self) -> &StegFs<D> {
+        &self.core.fs
+    }
+
+    /// The agent's (volatile) block map.
+    pub fn block_map(&self) -> &BlockMap {
+        &self.core.map
+    }
+
+    /// Consume the agent and return the underlying device — used to simulate
+    /// an agent restart, after which [`VolatileAgent::mount`] reattaches with
+    /// zero knowledge.
+    pub fn into_device(self) -> D {
+        self.core.fs.into_device()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemDevice;
+
+    /// Provision a volume with one user owning a data file and a dummy file,
+    /// then restart the agent so it has zero knowledge.
+    fn provisioned_agent() -> (VolatileAgent<MemDevice>, FileAccessKey, FileAccessKey, Vec<u8>) {
+        let fs_cfg = StegFsConfig::default().with_block_size(512);
+        let mut setup = VolatileAgent::format(
+            MemDevice::new(1024, 512),
+            fs_cfg,
+            AgentConfig::default(),
+            21,
+        )
+        .unwrap();
+        let data_fak = FileAccessKey::from_passphrase("alice-data");
+        let dummy_fak = FileAccessKey::from_passphrase("alice-dummy").without_content_key();
+        let per = setup.fs().content_bytes_per_block();
+        let content = (0..per * 6).map(|i| (i % 251) as u8).collect::<Vec<u8>>();
+        setup.provision_file("/alice/data", &data_fak, &content).unwrap();
+        setup
+            .provision_dummy_file("/alice/dummy", &dummy_fak, 8)
+            .unwrap();
+
+        let device = setup.into_device();
+        let agent = VolatileAgent::mount(device, AgentConfig::default(), 77).unwrap();
+        (agent, data_fak, dummy_fak, content)
+    }
+
+    fn alice_credentials(data_fak: &FileAccessKey, dummy_fak: &FileAccessKey) -> Vec<UserCredential> {
+        vec![
+            UserCredential::new("/alice/data", data_fak.clone()),
+            UserCredential::new("/alice/dummy", dummy_fak.clone()),
+        ]
+    }
+
+    #[test]
+    fn fresh_agent_knows_nothing() {
+        let (mut agent, _, _, _) = provisioned_agent();
+        assert_eq!(agent.block_map().data_blocks(), 0);
+        assert_eq!(agent.logged_in_users().len(), 0);
+        // With nobody logged in there is nothing to dummy-update.
+        assert!(matches!(agent.tick_idle(), Err(AgentError::NothingToUpdate)));
+    }
+
+    #[test]
+    fn login_discloses_files_and_enables_dummy_traffic() {
+        let (mut agent, data_fak, dummy_fak, content) = provisioned_agent();
+        let session = agent
+            .login("alice", &alice_credentials(&data_fak, &dummy_fak))
+            .unwrap();
+        assert_eq!(agent.logged_in_users(), vec!["alice".to_string()]);
+        let files = agent.session_files(session).unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(agent.read_file(session, files[0]).unwrap(), content);
+        // Now dummy updates are possible and touch only known blocks.
+        let touched = agent.tick_idle().unwrap();
+        assert!(!touched.is_empty());
+        // Content still intact afterwards.
+        assert_eq!(agent.read_file(session, files[0]).unwrap(), content);
+    }
+
+    #[test]
+    fn updates_relocate_into_the_users_dummy_blocks() {
+        let (mut agent, data_fak, dummy_fak, _) = provisioned_agent();
+        let session = agent
+            .login("alice", &alice_credentials(&data_fak, &dummy_fak))
+            .unwrap();
+        let files = agent.session_files(session).unwrap();
+        let data_id = files[0];
+        let per = agent.fs().content_bytes_per_block();
+
+        let mut relocations = 0;
+        for i in 0..12u64 {
+            let payload = vec![i as u8 + 1; per];
+            match agent.update_block(session, data_id, i % 6, &payload).unwrap() {
+                UpdateOutcome::Relocated { .. } => relocations += 1,
+                UpdateOutcome::InPlace { .. } => {}
+            }
+        }
+        assert!(relocations > 0, "expected at least one relocation");
+        // Dummy file keeps the same number of content blocks (swap semantics).
+        let dummy_id = files[1];
+        assert_eq!(agent.num_blocks(session, dummy_id).unwrap(), 8);
+        assert_eq!(agent.stats().data_updates, 12);
+    }
+
+    #[test]
+    fn state_survives_logout_and_new_session() {
+        let (mut agent, data_fak, dummy_fak, _) = provisioned_agent();
+        let per = agent.fs().content_bytes_per_block();
+        let session = agent
+            .login("alice", &alice_credentials(&data_fak, &dummy_fak))
+            .unwrap();
+        let files = agent.session_files(session).unwrap();
+        let expected: Vec<u8> = vec![0xC3; per];
+        agent.update_block(session, files[0], 2, &expected).unwrap();
+        agent.logout(session).unwrap();
+        assert_eq!(agent.block_map().data_blocks(), 0, "view forgotten at logout");
+
+        let session2 = agent
+            .login("alice", &alice_credentials(&data_fak, &dummy_fak))
+            .unwrap();
+        let files2 = agent.session_files(session2).unwrap();
+        let read = agent.read_file(session2, files2[0]).unwrap();
+        assert_eq!(&read[2 * per..3 * per], &expected[..]);
+    }
+
+    #[test]
+    fn sessions_cannot_touch_each_others_files() {
+        let (mut agent, data_fak, dummy_fak, _) = provisioned_agent();
+        let alice = agent
+            .login("alice", &alice_credentials(&data_fak, &dummy_fak))
+            .unwrap();
+        let alice_files = agent.session_files(alice).unwrap();
+        let mallory = agent.login("mallory", &[]).unwrap();
+        assert!(matches!(
+            agent.read_file(mallory, alice_files[0]),
+            Err(AgentError::UnknownFile(_))
+        ));
+        assert!(matches!(
+            agent.update_block(mallory, alice_files[0], 0, b"x"),
+            Err(AgentError::UnknownFile(_))
+        ));
+    }
+
+    #[test]
+    fn login_with_wrong_key_fails() {
+        let (mut agent, _, dummy_fak, _) = provisioned_agent();
+        let wrong = FileAccessKey::from_passphrase("not-alice");
+        let creds = vec![
+            UserCredential::new("/alice/data", wrong),
+            UserCredential::new("/alice/dummy", dummy_fak),
+        ];
+        assert!(agent.login("alice", &creds).is_err());
+    }
+
+    #[test]
+    fn create_file_from_dummies_converts_dummy_blocks() {
+        let (mut agent, data_fak, dummy_fak, _) = provisioned_agent();
+        let session = agent
+            .login("alice", &alice_credentials(&data_fak, &dummy_fak))
+            .unwrap();
+        let per = agent.fs().content_bytes_per_block();
+        let new_fak = FileAccessKey::from_passphrase("alice-notes");
+        let content = vec![0x5Au8; per * 2];
+        let id = agent
+            .create_file_from_dummies(session, "/alice/notes", &new_fak, &content)
+            .unwrap();
+        assert_eq!(agent.read_file(session, id).unwrap(), content);
+        // The user's dummy file shrank to donate the blocks.
+        agent.flush().unwrap();
+        agent.logout(session).unwrap();
+
+        let session2 = agent
+            .login(
+                "alice",
+                &[
+                    UserCredential::new("/alice/dummy", dummy_fak.clone()),
+                    UserCredential::new("/alice/notes", new_fak.clone()),
+                ],
+            )
+            .unwrap();
+        let files = agent.session_files(session2).unwrap();
+        let dummy_blocks = agent.num_blocks(session2, files[0]).unwrap();
+        assert!(dummy_blocks < 8, "dummy file should have shrunk, has {dummy_blocks}");
+        assert_eq!(agent.read_file(session2, files[1]).unwrap(), content);
+    }
+
+    #[test]
+    fn logout_unknown_session_errors() {
+        let (mut agent, _, _, _) = provisioned_agent();
+        assert!(matches!(agent.logout(99), Err(AgentError::UnknownSession(99))));
+    }
+}

@@ -1,0 +1,411 @@
+//! FIPS-197 AES block cipher (128- and 256-bit keys), encryption and
+//! decryption, implemented with the standard table-free byte-oriented
+//! transformations.
+
+/// The AES block size in bytes.
+pub const AES_BLOCK_SIZE: usize = 16;
+
+/// A block cipher operating on 16-byte blocks.
+///
+/// Both [`Aes128`] and [`Aes256`] implement this trait; the rest of the
+/// workspace is generic over it so tests can plug in lighter ciphers.
+pub trait BlockCipher: Send + Sync {
+    /// Encrypt a single 16-byte block in place.
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+    /// Decrypt a single 16-byte block in place.
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+}
+
+const SBOX: [u8; 256] = build_sbox();
+const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+// Precomputed GF(2^8) multiplication tables for the MixColumns coefficients;
+// computed at compile time so the hot path is pure table lookups.
+const MUL2: [u8; 256] = build_mul_table(2);
+const MUL3: [u8; 256] = build_mul_table(3);
+const MUL9: [u8; 256] = build_mul_table(9);
+const MUL11: [u8; 256] = build_mul_table(11);
+const MUL13: [u8; 256] = build_mul_table(13);
+const MUL14: [u8; 256] = build_mul_table(14);
+
+const fn build_mul_table(factor: u8) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = gf_mul(i as u8, factor);
+        i += 1;
+    }
+    table
+}
+
+/// Multiply in GF(2^8) with the AES reduction polynomial 0x11b.
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+const fn gf_inv(a: u8) -> u8 {
+    // Brute-force inverse; runs at compile time only.
+    if a == 0 {
+        return 0;
+    }
+    let mut x = 1u16;
+    while x < 256 {
+        if gf_mul(a, x as u8) == 1 {
+            return x as u8;
+        }
+        x += 1;
+    }
+    0
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let inv = gf_inv(i as u8);
+        // Affine transformation.
+        let mut x = inv;
+        let mut res = inv;
+        let mut c = 0;
+        while c < 4 {
+            x = x.rotate_left(1);
+            res ^= x;
+            c += 1;
+        }
+        sbox[i] = res ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let sbox = build_sbox();
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// Key schedule shared by both key sizes: `nk` = key length in words,
+/// `nr` = number of rounds, producing `4 * (nr + 1)` words.
+fn expand_key(key: &[u8], nk: usize, nr: usize) -> Vec<[u8; 4]> {
+    debug_assert_eq!(key.len(), nk * 4);
+    let total_words = 4 * (nr + 1);
+    let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+    for i in 0..nk {
+        w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    for i in nk..total_words {
+        let mut temp = w[i - 1];
+        if i % nk == 0 {
+            temp.rotate_left(1);
+            for b in temp.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= RCON[i / nk - 1];
+        } else if nk > 6 && i % nk == 4 {
+            for b in temp.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+        }
+        let prev = w[i - nk];
+        w.push([
+            prev[0] ^ temp[0],
+            prev[1] ^ temp[1],
+            prev[2] ^ temp[2],
+            prev[3] ^ temp[3],
+        ]);
+    }
+    w
+}
+
+fn add_round_key(state: &mut [u8; 16], round_keys: &[[u8; 4]], round: usize) {
+    for col in 0..4 {
+        let rk = round_keys[round * 4 + col];
+        for row in 0..4 {
+            state[4 * col + row] ^= rk[row];
+        }
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // State is column-major: state[4*col + row].
+    for row in 1..4 {
+        let mut tmp = [0u8; 4];
+        for col in 0..4 {
+            tmp[col] = state[4 * ((col + row) % 4) + row];
+        }
+        for col in 0..4 {
+            state[4 * col + row] = tmp[col];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    for row in 1..4 {
+        let mut tmp = [0u8; 4];
+        for col in 0..4 {
+            tmp[(col + row) % 4] = state[4 * col + row];
+        }
+        for col in 0..4 {
+            state[4 * col + row] = tmp[col];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let a0 = state[4 * col] as usize;
+        let a1 = state[4 * col + 1] as usize;
+        let a2 = state[4 * col + 2] as usize;
+        let a3 = state[4 * col + 3] as usize;
+        state[4 * col] = MUL2[a0] ^ MUL3[a1] ^ a2 as u8 ^ a3 as u8;
+        state[4 * col + 1] = a0 as u8 ^ MUL2[a1] ^ MUL3[a2] ^ a3 as u8;
+        state[4 * col + 2] = a0 as u8 ^ a1 as u8 ^ MUL2[a2] ^ MUL3[a3];
+        state[4 * col + 3] = MUL3[a0] ^ a1 as u8 ^ a2 as u8 ^ MUL2[a3];
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let a0 = state[4 * col] as usize;
+        let a1 = state[4 * col + 1] as usize;
+        let a2 = state[4 * col + 2] as usize;
+        let a3 = state[4 * col + 3] as usize;
+        state[4 * col] = MUL14[a0] ^ MUL11[a1] ^ MUL13[a2] ^ MUL9[a3];
+        state[4 * col + 1] = MUL9[a0] ^ MUL14[a1] ^ MUL11[a2] ^ MUL13[a3];
+        state[4 * col + 2] = MUL13[a0] ^ MUL9[a1] ^ MUL14[a2] ^ MUL11[a3];
+        state[4 * col + 3] = MUL11[a0] ^ MUL13[a1] ^ MUL9[a2] ^ MUL14[a3];
+    }
+}
+
+fn encrypt_with_schedule(block: &mut [u8; 16], round_keys: &[[u8; 4]], nr: usize) {
+    add_round_key(block, round_keys, 0);
+    for round in 1..nr {
+        sub_bytes(block);
+        shift_rows(block);
+        mix_columns(block);
+        add_round_key(block, round_keys, round);
+    }
+    sub_bytes(block);
+    shift_rows(block);
+    add_round_key(block, round_keys, nr);
+}
+
+fn decrypt_with_schedule(block: &mut [u8; 16], round_keys: &[[u8; 4]], nr: usize) {
+    add_round_key(block, round_keys, nr);
+    for round in (1..nr).rev() {
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, round_keys, round);
+        inv_mix_columns(block);
+    }
+    inv_shift_rows(block);
+    inv_sub_bytes(block);
+    add_round_key(block, round_keys, 0);
+}
+
+/// AES with a 128-bit key (10 rounds).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: Vec<[u8; 4]>,
+}
+
+impl Aes128 {
+    /// Number of rounds for AES-128.
+    const ROUNDS: usize = 10;
+
+    /// Construct a cipher instance from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self {
+            round_keys: expand_key(key, 4, Self::ROUNDS),
+        }
+    }
+}
+
+impl BlockCipher for Aes128 {
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        encrypt_with_schedule(block, &self.round_keys, Self::ROUNDS);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        decrypt_with_schedule(block, &self.round_keys, Self::ROUNDS);
+    }
+}
+
+/// AES with a 256-bit key (14 rounds). This is the cipher used throughout the
+/// reproduction, matching the paper's choice of AES for the block cipher.
+#[derive(Clone)]
+pub struct Aes256 {
+    round_keys: Vec<[u8; 4]>,
+}
+
+impl Aes256 {
+    /// Number of rounds for AES-256.
+    const ROUNDS: usize = 14;
+
+    /// Construct a cipher instance from a 32-byte key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        Self {
+            round_keys: expand_key(key, 8, Self::ROUNDS),
+        }
+    }
+}
+
+impl BlockCipher for Aes256 {
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        encrypt_with_schedule(block, &self.round_keys, Self::ROUNDS);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        decrypt_with_schedule(block, &self.round_keys, Self::ROUNDS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_matches_known_values() {
+        // Spot-check values from the FIPS-197 S-box table.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0x16], 0xff);
+    }
+
+    #[test]
+    fn gf_mul_known_products() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn aes128_fips197_vector() {
+        // FIPS-197 Appendix B.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let cipher = Aes128::new(&key);
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext);
+    }
+
+    #[test]
+    fn aes128_fips197_appendix_c1() {
+        // FIPS-197 Appendix C.1 example vectors.
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let cipher = Aes128::new(&key);
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn aes256_fips197_appendix_c3() {
+        // FIPS-197 Appendix C.3 example vectors.
+        let key: [u8; 32] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+            0x1c, 0x1d, 0x1e, 0x1f,
+        ];
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        let cipher = Aes256::new(&key);
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext);
+    }
+
+    #[test]
+    fn aes256_roundtrip_many_blocks() {
+        let key = [7u8; 32];
+        let cipher = Aes256::new(&key);
+        for i in 0..64u8 {
+            let original = [i; 16];
+            let mut block = original;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original, "encryption must change the block");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn different_keys_produce_different_ciphertexts() {
+        let c1 = Aes256::new(&[1u8; 32]);
+        let c2 = Aes256::new(&[2u8; 32]);
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        c1.encrypt_block(&mut b1);
+        c2.encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+}

@@ -1,0 +1,209 @@
+//! CBC (Cipher Block Chaining) mode over whole 16-byte blocks.
+//!
+//! Section 4.1.1 of the paper:
+//!
+//! > each block contains an initial vector (IV) and a data field. \[...\] its
+//! > data field is encrypted by the agent using a CBC (Cipher Block Chaining)
+//! > block cipher with the IV as seed. Whenever the agent re-encrypts a block,
+//! > it resets the IV so that the content of the whole encrypted block
+//! > changes.
+//!
+//! Storage block payloads are always exact multiples of the AES block size, so
+//! no padding scheme is needed; [`CbcCipher`] rejects unaligned buffers
+//! instead.
+
+use crate::aes::{BlockCipher, AES_BLOCK_SIZE};
+
+/// Errors returned by CBC operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbcError {
+    /// Input length was not a multiple of the AES block size.
+    NotBlockAligned {
+        /// Offending input length.
+        len: usize,
+    },
+}
+
+impl core::fmt::Display for CbcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CbcError::NotBlockAligned { len } => {
+                write!(f, "CBC input length {len} is not a multiple of 16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CbcError {}
+
+/// CBC-mode wrapper around any [`BlockCipher`].
+pub struct CbcCipher<C: BlockCipher> {
+    cipher: C,
+}
+
+impl<C: BlockCipher> CbcCipher<C> {
+    /// Wrap a block cipher instance.
+    pub fn new(cipher: C) -> Self {
+        Self { cipher }
+    }
+
+    /// Access the underlying block cipher.
+    pub fn cipher(&self) -> &C {
+        &self.cipher
+    }
+
+    /// Encrypt `data` in place under `iv`. `data.len()` must be a multiple of
+    /// 16 bytes.
+    pub fn encrypt_in_place(&self, iv: &[u8; AES_BLOCK_SIZE], data: &mut [u8]) -> Result<(), CbcError> {
+        if data.len() % AES_BLOCK_SIZE != 0 {
+            return Err(CbcError::NotBlockAligned { len: data.len() });
+        }
+        let mut chain = *iv;
+        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            for (b, c) in block.iter_mut().zip(chain.iter()) {
+                *b ^= c;
+            }
+            let mut buf = [0u8; AES_BLOCK_SIZE];
+            buf.copy_from_slice(block);
+            self.cipher.encrypt_block(&mut buf);
+            block.copy_from_slice(&buf);
+            chain = buf;
+        }
+        Ok(())
+    }
+
+    /// Decrypt `data` in place under `iv`.
+    pub fn decrypt_in_place(&self, iv: &[u8; AES_BLOCK_SIZE], data: &mut [u8]) -> Result<(), CbcError> {
+        if data.len() % AES_BLOCK_SIZE != 0 {
+            return Err(CbcError::NotBlockAligned { len: data.len() });
+        }
+        let mut chain = *iv;
+        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            let mut buf = [0u8; AES_BLOCK_SIZE];
+            buf.copy_from_slice(block);
+            let next_chain = buf;
+            self.cipher.decrypt_block(&mut buf);
+            for (b, c) in buf.iter_mut().zip(chain.iter()) {
+                *b ^= c;
+            }
+            block.copy_from_slice(&buf);
+            chain = next_chain;
+        }
+        Ok(())
+    }
+
+    /// Encrypt `data` into a new vector.
+    pub fn encrypt(&self, iv: &[u8; AES_BLOCK_SIZE], data: &[u8]) -> Result<Vec<u8>, CbcError> {
+        let mut out = data.to_vec();
+        self.encrypt_in_place(iv, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decrypt `data` into a new vector.
+    pub fn decrypt(&self, iv: &[u8; AES_BLOCK_SIZE], data: &[u8]) -> Result<Vec<u8>, CbcError> {
+        let mut out = data.to_vec();
+        self.decrypt_in_place(iv, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{Aes128, Aes256};
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_aes128() {
+        // NIST SP 800-38A F.2.1 CBC-AES128.Encrypt
+        let key: [u8; 16] = hex_to_bytes("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let iv: [u8; 16] = hex_to_bytes("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let plaintext = hex_to_bytes(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let expected = hex_to_bytes(
+            "7649abac8119b246cee98e9b12e9197d\
+             5086cb9b507219ee95db113a917678b2\
+             73bed6b8e3c1743b7116e69e22229516\
+             3ff1caa1681fac09120eca307586e1a7",
+        );
+        let cbc = CbcCipher::new(Aes128::new(&key));
+        let ciphertext = cbc.encrypt(&iv, &plaintext).unwrap();
+        assert_eq!(ciphertext, expected);
+        let decrypted = cbc.decrypt(&iv, &ciphertext).unwrap();
+        assert_eq!(decrypted, plaintext);
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_aes256() {
+        // NIST SP 800-38A F.2.5 CBC-AES256.Encrypt (first two blocks)
+        let key: [u8; 32] =
+            hex_to_bytes("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
+        let iv: [u8; 16] = hex_to_bytes("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let plaintext = hex_to_bytes(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51",
+        );
+        let expected = hex_to_bytes(
+            "f58c4c04d6e5f1ba779eabfb5f7bfbd6\
+             9cfc4e967edb808d679f777bc6702c7d",
+        );
+        let cbc = CbcCipher::new(Aes256::new(&key));
+        let ciphertext = cbc.encrypt(&iv, &plaintext).unwrap();
+        assert_eq!(ciphertext, expected);
+    }
+
+    #[test]
+    fn changing_iv_changes_every_ciphertext_block() {
+        // This property is exactly what makes the paper's dummy updates work:
+        // re-encrypting the same plaintext under a fresh IV changes the whole
+        // encrypted block.
+        let cbc = CbcCipher::new(Aes256::new(&[9u8; 32]));
+        let plaintext = vec![0x42u8; 4096];
+        let c1 = cbc.encrypt(&[1u8; 16], &plaintext).unwrap();
+        let c2 = cbc.encrypt(&[2u8; 16], &plaintext).unwrap();
+        assert_eq!(c1.len(), c2.len());
+        // Every 16-byte block must differ thanks to chaining.
+        for (b1, b2) in c1.chunks(16).zip(c2.chunks(16)) {
+            assert_ne!(b1, b2);
+        }
+        assert_eq!(cbc.decrypt(&[1u8; 16], &c1).unwrap(), plaintext);
+        assert_eq!(cbc.decrypt(&[2u8; 16], &c2).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn unaligned_input_is_rejected() {
+        let cbc = CbcCipher::new(Aes256::new(&[0u8; 32]));
+        let err = cbc.encrypt(&[0u8; 16], &[0u8; 15]).unwrap_err();
+        assert_eq!(err, CbcError::NotBlockAligned { len: 15 });
+        let err = cbc.decrypt(&[0u8; 16], &[0u8; 17]).unwrap_err();
+        assert_eq!(err, CbcError::NotBlockAligned { len: 17 });
+    }
+
+    #[test]
+    fn wrong_iv_garbles_first_block_only() {
+        let cbc = CbcCipher::new(Aes256::new(&[3u8; 32]));
+        let plaintext = vec![7u8; 64];
+        let ciphertext = cbc.encrypt(&[5u8; 16], &plaintext).unwrap();
+        let decrypted = cbc.decrypt(&[6u8; 16], &ciphertext).unwrap();
+        assert_ne!(&decrypted[..16], &plaintext[..16]);
+        assert_eq!(&decrypted[16..], &plaintext[16..]);
+    }
+}

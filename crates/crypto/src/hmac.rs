@@ -1,0 +1,143 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used throughout the reproduction as the keyed derivation primitive: the
+//! location of a hidden file's header is derived from its access key and path
+//! name (Section 4.1.2), and per-level hash-index keys in the oblivious
+//! storage are derived from a logical address and a rebuild nonce
+//! (Section 5.1.2).
+
+use crate::sha256::{Sha256, SHA256_OUTPUT_SIZE};
+
+const BLOCK_SIZE: usize = 64;
+
+/// Keyed HMAC-SHA-256 instance.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Create an HMAC instance from an arbitrary-length key.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            let digest = crate::sha256::sha256(key);
+            key_block[..SHA256_OUTPUT_SIZE].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_SIZE];
+        let mut opad = [0x5cu8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// Absorb message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the 32-byte MAC.
+    pub fn finalize(mut self) -> [u8; SHA256_OUTPUT_SIZE] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot HMAC of `data` under `key`.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; SHA256_OUTPUT_SIZE] {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Derive a 64-bit value from `key` and `data`; convenience helper used to
+    /// map (FAK, path) pairs and (logical block, nonce) pairs onto block
+    /// numbers.
+    pub fn derive_u64(key: &[u8], data: &[u8]) -> u64 {
+        let mac = Self::mac(key, data);
+        u64::from_be_bytes([
+            mac[0], mac[1], mac[2], mac[3], mac[4], mac[5], mac[6], mac[7],
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let mac = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let mac = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"some key material";
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = HmacSha256::mac(key, data);
+        let mut h = HmacSha256::new(key);
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn derive_u64_is_deterministic_and_key_sensitive() {
+        let a = HmacSha256::derive_u64(b"key-a", b"/secret/report.doc");
+        let b = HmacSha256::derive_u64(b"key-a", b"/secret/report.doc");
+        let c = HmacSha256::derive_u64(b"key-b", b"/secret/report.doc");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixed-size key wrappers with derivation helpers.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::sha256;
+
+/// Error returned when constructing a key from a wrongly-sized slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyError {
+    /// Expected key length in bytes.
+    pub expected: usize,
+    /// Observed length in bytes.
+    pub got: usize,
+}
+
+impl core::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid key length: expected {} bytes, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// A 128-bit symmetric key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key128(pub [u8; 16]);
+
+/// A 256-bit symmetric key. This is the key type used for block encryption,
+/// header keys and content keys throughout the reproduction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key256(pub [u8; 32]);
+
+impl Key128 {
+    /// Derive a key from an arbitrary passphrase by hashing.
+    pub fn from_passphrase(passphrase: &str) -> Self {
+        let digest = sha256(passphrase.as_bytes());
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&digest[..16]);
+        Self(k)
+    }
+
+    /// Construct from a slice, checking the length.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, KeyError> {
+        if bytes.len() != 16 {
+            return Err(KeyError {
+                expected: 16,
+                got: bytes.len(),
+            });
+        }
+        let mut k = [0u8; 16];
+        k.copy_from_slice(bytes);
+        Ok(Self(k))
+    }
+
+    /// Raw bytes of the key.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl Key256 {
+    /// Derive a key from an arbitrary passphrase by hashing.
+    pub fn from_passphrase(passphrase: &str) -> Self {
+        Self(sha256(passphrase.as_bytes()))
+    }
+
+    /// Construct from a slice, checking the length.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, KeyError> {
+        if bytes.len() != 32 {
+            return Err(KeyError {
+                expected: 32,
+                got: bytes.len(),
+            });
+        }
+        let mut k = [0u8; 32];
+        k.copy_from_slice(bytes);
+        Ok(Self(k))
+    }
+
+    /// Derive a labelled sub-key, e.g. a header key and a content key from a
+    /// single file access key (Section 4.2.1 gives each hidden file a header
+    /// key and a content key).
+    pub fn derive(&self, label: &str) -> Key256 {
+        Key256(HmacSha256::mac(&self.0, label.as_bytes()))
+    }
+
+    /// Raw bytes of the key.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for Key128 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Keys are never printed.
+        write!(f, "Key128(..)")
+    }
+}
+
+impl core::fmt::Debug for Key256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Key256(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passphrase_derivation_is_deterministic() {
+        assert_eq!(
+            Key256::from_passphrase("open sesame"),
+            Key256::from_passphrase("open sesame")
+        );
+        assert_ne!(
+            Key256::from_passphrase("open sesame"),
+            Key256::from_passphrase("open Sesame")
+        );
+    }
+
+    #[test]
+    fn from_slice_checks_length() {
+        assert!(Key256::from_slice(&[0u8; 32]).is_ok());
+        assert_eq!(
+            Key256::from_slice(&[0u8; 31]),
+            Err(KeyError {
+                expected: 32,
+                got: 31
+            })
+        );
+        assert!(Key128::from_slice(&[0u8; 16]).is_ok());
+        assert!(Key128::from_slice(&[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn derived_subkeys_are_independent() {
+        let fak = Key256::from_passphrase("file access key");
+        let header = fak.derive("header");
+        let content = fak.derive("content");
+        assert_ne!(header, content);
+        assert_ne!(header, fak);
+        // Deterministic.
+        assert_eq!(header, fak.derive("header"));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let k = Key256::from_passphrase("secret");
+        let printed = format!("{k:?}");
+        assert!(!printed.contains("secret"));
+        assert_eq!(printed, "Key256(..)");
+    }
+}

@@ -1,0 +1,74 @@
+//! # stegfs-crypto
+//!
+//! The cryptographic substrate used by the StegFS reproduction.
+//!
+//! The paper (Section 6.1) states:
+//!
+//! > We use AES \[3\] for the block cipher, and the pseudo-random number
+//! > generator is constructed from SHA256 \[4\].
+//!
+//! This crate therefore provides, implemented from scratch in safe Rust:
+//!
+//! * [`Aes128`] / [`Aes256`] — the FIPS-197 block cipher (encrypt and decrypt).
+//! * [`CbcCipher`] — CBC mode over whole 16-byte blocks, exactly the
+//!   `IV || data field` layout that Section 4.1.1 places in every storage block.
+//! * [`Sha256`] — FIPS 180-2 SHA-256.
+//! * [`HmacSha256`] — HMAC (RFC 2104) over SHA-256, used for deriving block
+//!   locations and per-file keys from a file access key (FAK).
+//! * [`HashDrbg`] — a SHA-256 based deterministic random bit generator in the
+//!   spirit of NIST SP 800-90A Hash_DRBG, used wherever the paper requires a
+//!   pseudo-random number generator (dummy-update selection, block scattering,
+//!   level re-ordering permutations).
+//!
+//! None of this code is intended to be side-channel hardened; it exists so the
+//! reproduction is self-contained and exercises the same data layout and key
+//! schedule costs as the paper's prototype.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod cbc;
+mod drbg;
+mod hmac;
+mod keys;
+mod sha256;
+
+pub use aes::{Aes128, Aes256, BlockCipher, AES_BLOCK_SIZE};
+pub use cbc::{CbcCipher, CbcError};
+pub use drbg::HashDrbg;
+pub use hmac::HmacSha256;
+pub use keys::{Key128, Key256, KeyError};
+pub use sha256::{sha256, Sha256, SHA256_OUTPUT_SIZE};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A buffer whose length must be a multiple of the AES block size was not.
+    NotBlockAligned {
+        /// The offending length in bytes.
+        len: usize,
+    },
+    /// A key had the wrong length.
+    BadKeyLength {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Observed length in bytes.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CryptoError::NotBlockAligned { len } => {
+                write!(f, "buffer length {len} is not a multiple of 16 bytes")
+            }
+            CryptoError::BadKeyLength { expected, got } => {
+                write!(f, "bad key length: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,111 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+
+use stegfs_crypto::{Aes128, Aes256, BlockCipher, CbcCipher, HashDrbg, HmacSha256, Key256, Sha256};
+
+proptest! {
+    /// AES encrypt∘decrypt is the identity for both key sizes.
+    #[test]
+    fn aes_roundtrip(key in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        let aes256 = Aes256::new(&key);
+        let mut buf = block;
+        aes256.encrypt_block(&mut buf);
+        aes256.decrypt_block(&mut buf);
+        prop_assert_eq!(buf, block);
+
+        let mut key128 = [0u8; 16];
+        key128.copy_from_slice(&key[..16]);
+        let aes128 = Aes128::new(&key128);
+        let mut buf = block;
+        aes128.encrypt_block(&mut buf);
+        aes128.decrypt_block(&mut buf);
+        prop_assert_eq!(buf, block);
+    }
+
+    /// CBC decryption inverts encryption for arbitrary block-aligned inputs,
+    /// and a different IV never yields the same ciphertext.
+    #[test]
+    fn cbc_roundtrip_and_iv_sensitivity(
+        key in any::<[u8; 32]>(),
+        iv1 in any::<[u8; 16]>(),
+        iv2 in any::<[u8; 16]>(),
+        blocks in 1usize..16,
+        seed in any::<u8>(),
+    ) {
+        let data = vec![seed; blocks * 16];
+        let cbc = CbcCipher::new(Aes256::new(&key));
+        let c1 = cbc.encrypt(&iv1, &data).unwrap();
+        prop_assert_eq!(cbc.decrypt(&iv1, &c1).unwrap(), data.clone());
+        if iv1 != iv2 {
+            let c2 = cbc.encrypt(&iv2, &data).unwrap();
+            prop_assert_ne!(c1, c2);
+        }
+    }
+
+    /// Incremental SHA-256 hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunk in 1usize..97,
+    ) {
+        let oneshot = stegfs_crypto::sha256(&data);
+        let mut hasher = Sha256::new();
+        for piece in data.chunks(chunk) {
+            hasher.update(piece);
+        }
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    /// HMAC is deterministic and sensitive to both key and message.
+    #[test]
+    fn hmac_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in 0usize..64,
+    ) {
+        let mac = HmacSha256::mac(&key, &msg);
+        prop_assert_eq!(HmacSha256::mac(&key, &msg), mac);
+        let mut other_key = key.clone();
+        other_key[flip % key.len()] ^= 0x01;
+        prop_assert_ne!(HmacSha256::mac(&other_key, &msg), mac);
+        let mut other_msg = msg.clone();
+        if other_msg.is_empty() {
+            other_msg.push(1);
+        } else {
+            let idx = flip % other_msg.len();
+            other_msg[idx] ^= 0x01;
+        }
+        prop_assert_ne!(HmacSha256::mac(&key, &other_msg), mac);
+    }
+
+    /// The DRBG is a pure function of its seed, regardless of how output is
+    /// chunked out of it.
+    #[test]
+    fn drbg_chunking_invariance(seed in any::<u64>(), sizes in proptest::collection::vec(1usize..64, 1..10)) {
+        let total: usize = sizes.iter().sum();
+        let mut a = HashDrbg::from_u64(seed);
+        let expected = a.bytes(total);
+        let mut b = HashDrbg::from_u64(seed);
+        let mut got = Vec::new();
+        for s in sizes {
+            got.extend(b.bytes(s));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Derived sub-keys never equal their parent or each other for distinct
+    /// labels.
+    #[test]
+    fn key_derivation_separation(pass in "[ -~]{1,32}", a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        let master = Key256::from_passphrase(&pass);
+        let ka = master.derive(&a);
+        let kb = master.derive(&b);
+        prop_assert_ne!(ka, master);
+        if a != b {
+            prop_assert_ne!(ka, kb);
+        } else {
+            prop_assert_eq!(ka, kb);
+        }
+    }
+}

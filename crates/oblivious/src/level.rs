@@ -1,0 +1,405 @@
+//! One level of the oblivious storage hierarchy.
+//!
+//! A level is an index region followed by a data region of `capacity` slots.
+//! Every slot holds one sealed item (`IV || CBC(id, length, payload)`) under
+//! the level's current *epoch key*; re-ordering derives a fresh epoch key and
+//! a fresh index nonce, so nothing observable links a level's contents across
+//! epochs. Occupied slots are always the contiguous prefix `0..len` because
+//! the only way items enter a level is a full rewrite during re-ordering.
+
+use std::collections::HashMap;
+
+use stegfs_base::BlockCodec;
+use stegfs_blockdev::{BlockDevice, BlockId};
+use stegfs_crypto::{HashDrbg, Key256};
+
+use crate::error::ObliviousError;
+use crate::extsort::{ExternalSorter, SortIo, SortRecord};
+use crate::hashindex::HashIndexRegion;
+
+/// Per-item header inside a sealed slot: id (8) + payload length (4) +
+/// reserved (4).
+const ITEM_HEADER: usize = 16;
+
+/// One level of the hierarchy.
+pub(crate) struct Level {
+    /// 1-based level number (for key derivation and diagnostics).
+    pub index_no: u32,
+    /// On-disk hash index region.
+    pub index: HashIndexRegion,
+    /// First block of the data region.
+    pub data_offset: BlockId,
+    /// Number of item slots.
+    pub capacity: u64,
+    /// In-memory mirror of the index: id → slot. The on-disk index is what
+    /// lookups actually read (and pay I/O for); the mirror exists so
+    /// re-ordering knows what the level holds without a scan.
+    pub manifest: HashMap<u64, u64>,
+    /// Nonce of the current index epoch.
+    pub nonce: u64,
+    /// Epoch counter (bumped at every re-order).
+    pub epoch: u64,
+    /// Encryption key of the current epoch.
+    pub key: Key256,
+}
+
+/// I/O performed by a maintenance (re-order / collect) operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct MaintenanceIo {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+impl MaintenanceIo {
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    fn absorb_sort(&mut self, io: SortIo) {
+        self.reads += io.reads;
+        self.writes += io.writes;
+    }
+}
+
+impl Level {
+    /// Lay out a level starting at `offset`; returns the level and the first
+    /// block after it.
+    pub fn layout(
+        index_no: u32,
+        offset: BlockId,
+        capacity: u64,
+        block_size: usize,
+        master_key: &Key256,
+    ) -> (Self, BlockId) {
+        let index_blocks = HashIndexRegion::blocks_for_capacity(capacity, block_size);
+        let index = HashIndexRegion {
+            offset,
+            num_blocks: index_blocks,
+            block_size,
+        };
+        let data_offset = offset + index_blocks;
+        let level = Self {
+            index_no,
+            index,
+            data_offset,
+            capacity,
+            manifest: HashMap::new(),
+            nonce: 0,
+            epoch: 0,
+            key: master_key.derive(&format!("oblivious:level{index_no}:epoch0")),
+        };
+        (level, data_offset + capacity)
+    }
+
+    /// Number of blocks (index + data) this level occupies.
+    pub fn blocks_required(capacity: u64, block_size: usize) -> u64 {
+        HashIndexRegion::blocks_for_capacity(capacity, block_size) + capacity
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.manifest.len()
+    }
+
+    /// Whether `extra` more items would fit.
+    pub fn can_accept(&self, extra: usize) -> bool {
+        self.manifest.len() + extra <= self.capacity as usize
+    }
+
+    /// Maximum payload bytes per item for a given device block size.
+    pub fn item_capacity(block_size: usize) -> usize {
+        (block_size - stegfs_base::IV_SIZE) - ITEM_HEADER
+    }
+
+    fn encode_item(codec: &BlockCodec, id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut plain = vec![0u8; codec.data_field_len()];
+        plain[..8].copy_from_slice(&id.to_le_bytes());
+        plain[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        plain[16..16 + payload.len()].copy_from_slice(payload);
+        plain
+    }
+
+    fn decode_item(plain: &[u8]) -> Result<(u64, Vec<u8>), ObliviousError> {
+        if plain.len() < ITEM_HEADER {
+            return Err(ObliviousError::Corrupt("slot too small".to_string()));
+        }
+        let id = u64::from_le_bytes(plain[..8].try_into().unwrap());
+        let len = u32::from_le_bytes(plain[8..12].try_into().unwrap()) as usize;
+        if ITEM_HEADER + len > plain.len() {
+            return Err(ObliviousError::Corrupt(format!(
+                "slot declares {len} payload bytes, only {} available",
+                plain.len() - ITEM_HEADER
+            )));
+        }
+        Ok((id, plain[ITEM_HEADER..ITEM_HEADER + len].to_vec()))
+    }
+
+    /// Read and decrypt the item in `slot`.
+    pub fn read_slot<D: BlockDevice + ?Sized>(
+        &self,
+        device: &D,
+        codec: &BlockCodec,
+        slot: u64,
+    ) -> Result<(u64, Vec<u8>), ObliviousError> {
+        let sealed = {
+            let mut buf = vec![0u8; codec.block_size()];
+            device.read_block(self.data_offset + slot, &mut buf)?;
+            buf
+        };
+        let plain = codec
+            .open(&self.key, &sealed)
+            .map_err(|e| ObliviousError::Corrupt(e.to_string()))?;
+        Self::decode_item(&plain)
+    }
+
+    /// Read a slot without interpreting it (dummy probe).
+    pub fn read_slot_raw<D: BlockDevice + ?Sized>(
+        &self,
+        device: &D,
+        codec: &BlockCodec,
+        slot: u64,
+    ) -> Result<(), ObliviousError> {
+        let mut buf = vec![0u8; codec.block_size()];
+        device.read_block(self.data_offset + slot, &mut buf)?;
+        Ok(())
+    }
+
+    /// Look up `id` in the on-disk index. Returns the slot (if present) and
+    /// the number of index blocks read.
+    pub fn lookup<D: BlockDevice + ?Sized>(
+        &self,
+        device: &D,
+        id: u64,
+    ) -> Result<(Option<u64>, u64), ObliviousError> {
+        self.index.lookup(device, self.nonce, id)
+    }
+
+    /// Read one index bucket as a dummy probe.
+    pub fn dummy_index_probe<D: BlockDevice + ?Sized>(
+        &self,
+        device: &D,
+        bucket: u64,
+    ) -> Result<(), ObliviousError> {
+        self.index.dummy_probe(device, bucket)
+    }
+
+    /// Collect every live item (id, plaintext payload), reading the occupied
+    /// slot prefix sequentially. Returns the items and the I/O spent.
+    pub fn collect_items<D: BlockDevice + ?Sized>(
+        &self,
+        device: &D,
+        codec: &BlockCodec,
+    ) -> Result<(Vec<(u64, Vec<u8>)>, MaintenanceIo), ObliviousError> {
+        let mut io = MaintenanceIo::default();
+        let mut items = Vec::with_capacity(self.manifest.len());
+        for slot in 0..self.manifest.len() as u64 {
+            let (id, payload) = self.read_slot(device, codec, slot)?;
+            io.reads += 1;
+            items.push((id, payload));
+        }
+        Ok((items, io))
+    }
+
+    /// Discard the level's contents. The on-disk blocks are left as they are
+    /// (they are indistinguishable from live ciphertext anyway); bumping the
+    /// index nonce makes every stale on-disk index entry unfindable.
+    pub fn clear(&mut self, rng: &mut HashDrbg) {
+        self.manifest.clear();
+        self.nonce = rng.next_u64();
+        self.epoch += 1;
+    }
+
+    /// Re-order the level so that it holds exactly `items`, in a fresh random
+    /// permutation, re-encrypted under a fresh epoch key, with a rebuilt
+    /// index (Section 5.1.2). The permutation is produced by an external
+    /// merge sort over random keys so that memory use stays bounded by the
+    /// agent's buffer.
+    pub fn reorder<D, S>(
+        &mut self,
+        device: &D,
+        codec: &BlockCodec,
+        sorter: &ExternalSorter<S>,
+        master_key: &Key256,
+        rng: &mut HashDrbg,
+        items: Vec<(u64, Vec<u8>)>,
+    ) -> Result<MaintenanceIo, ObliviousError>
+    where
+        D: BlockDevice + ?Sized,
+        S: BlockDevice,
+    {
+        if items.len() as u64 > self.capacity {
+            return Err(ObliviousError::CapacityExhausted);
+        }
+        let mut io = MaintenanceIo::default();
+
+        self.epoch += 1;
+        self.nonce = rng.next_u64();
+        self.key = master_key.derive(&format!(
+            "oblivious:level{}:epoch{}",
+            self.index_no, self.epoch
+        ));
+
+        // Seal every item under the new epoch key and tag it with a random
+        // sort key; the sorted order is the new permutation.
+        let mut records = Vec::with_capacity(items.len());
+        for (id, payload) in items {
+            if payload.len() > Self::item_capacity(codec.block_size()) {
+                return Err(ObliviousError::ItemTooLarge {
+                    got: payload.len(),
+                    max: Self::item_capacity(codec.block_size()),
+                });
+            }
+            let plain = Self::encode_item(codec, id, &payload);
+            let sealed = codec
+                .seal(&self.key, &plain, rng)
+                .map_err(|e| ObliviousError::Corrupt(e.to_string()))?;
+            records.push(SortRecord {
+                key: rng.next_u64(),
+                id,
+                payload: sealed,
+            });
+        }
+
+        // External merge sort; the output callback writes slots sequentially.
+        self.manifest.clear();
+        let mut slot: u64 = 0;
+        let manifest = &mut self.manifest;
+        let data_offset = self.data_offset;
+        let sort_io = sorter.sort(records, |record| {
+            device.write_block(data_offset + slot, &record.payload)?;
+            manifest.insert(record.id, slot);
+            slot += 1;
+            Ok(())
+        })?;
+        io.absorb_sort(sort_io);
+        io.writes += slot;
+
+        // Rebuild the on-disk hash index under the fresh nonce.
+        let index_writes = self.index.build(
+            device,
+            self.nonce,
+            self.manifest.iter().map(|(&id, &s)| (id, s)),
+        )?;
+        io.writes += index_writes;
+
+        Ok(io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemDevice;
+
+    const BLOCK: usize = 512;
+
+    fn setup(capacity: u64) -> (MemDevice, MemDevice, Level, BlockCodec, Key256, HashDrbg) {
+        let master = Key256::from_passphrase("oblivious master");
+        let (level, end) = Level::layout(1, 0, capacity, BLOCK, &master);
+        let device = MemDevice::new(end, BLOCK);
+        let sort_device = MemDevice::new(4 * capacity.max(8), BLOCK + 32);
+        let codec = BlockCodec::new(BLOCK);
+        let rng = HashDrbg::from_u64(5);
+        (device, sort_device, level, codec, master, rng)
+    }
+
+    fn items(n: u64) -> Vec<(u64, Vec<u8>)> {
+        (0..n).map(|i| (i + 100, vec![(i % 256) as u8; 64])).collect()
+    }
+
+    #[test]
+    fn reorder_then_lookup_and_read() {
+        let (device, sort_device, mut level, codec, master, mut rng) = setup(32);
+        let sorter = ExternalSorter::new(sort_device, 8);
+        let io = level
+            .reorder(&device, &codec, &sorter, &master, &mut rng, items(20))
+            .unwrap();
+        assert_eq!(level.len(), 20);
+        assert!(io.writes >= 20);
+
+        for (id, payload) in items(20) {
+            let (slot, _reads) = level.lookup(&device, id).unwrap();
+            let slot = slot.expect("present");
+            let (read_id, read_payload) = level.read_slot(&device, &codec, slot).unwrap();
+            assert_eq!(read_id, id);
+            assert_eq!(read_payload, payload);
+        }
+        // Absent ids are not found.
+        assert_eq!(level.lookup(&device, 9999).unwrap().0, None);
+    }
+
+    #[test]
+    fn reorder_produces_a_fresh_permutation() {
+        let (device, sort_device, mut level, codec, master, mut rng) = setup(64);
+        let sorter = ExternalSorter::new(sort_device, 16);
+        level
+            .reorder(&device, &codec, &sorter, &master, &mut rng, items(40))
+            .unwrap();
+        let first: Vec<u64> = (0..40).map(|i| level.manifest[&(i + 100)]).collect();
+        level
+            .reorder(&device, &codec, &sorter, &master, &mut rng, items(40))
+            .unwrap();
+        let second: Vec<u64> = (0..40).map(|i| level.manifest[&(i + 100)]).collect();
+        assert_ne!(first, second, "permutation should change across epochs");
+        // Both are permutations of 0..40.
+        let mut s = second.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_items_returns_everything() {
+        let (device, sort_device, mut level, codec, master, mut rng) = setup(16);
+        let sorter = ExternalSorter::new(sort_device, 4);
+        level
+            .reorder(&device, &codec, &sorter, &master, &mut rng, items(10))
+            .unwrap();
+        let (collected, io) = level.collect_items(&device, &codec).unwrap();
+        assert_eq!(io.reads, 10);
+        let mut ids: Vec<u64> = collected.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_makes_old_entries_unfindable() {
+        let (device, sort_device, mut level, codec, master, mut rng) = setup(16);
+        let sorter = ExternalSorter::new(sort_device, 4);
+        level
+            .reorder(&device, &codec, &sorter, &master, &mut rng, items(10))
+            .unwrap();
+        level.clear(&mut rng);
+        assert_eq!(level.len(), 0);
+        for (id, _) in items(10) {
+            assert_eq!(level.lookup(&device, id).unwrap().0, None);
+        }
+        let _ = codec;
+    }
+
+    #[test]
+    fn over_capacity_reorder_rejected() {
+        let (device, sort_device, mut level, codec, master, mut rng) = setup(8);
+        let sorter = ExternalSorter::new(sort_device, 4);
+        assert!(matches!(
+            level.reorder(&device, &codec, &sorter, &master, &mut rng, items(9)),
+            Err(ObliviousError::CapacityExhausted)
+        ));
+    }
+
+    #[test]
+    fn oversized_item_rejected() {
+        let (device, sort_device, mut level, codec, master, mut rng) = setup(8);
+        let sorter = ExternalSorter::new(sort_device, 4);
+        let too_big = vec![(1u64, vec![0u8; Level::item_capacity(BLOCK) + 1])];
+        assert!(matches!(
+            level.reorder(&device, &codec, &sorter, &master, &mut rng, too_big),
+            Err(ObliviousError::ItemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn item_capacity_leaves_room_for_headers() {
+        assert_eq!(Level::item_capacity(4128), 4096);
+        assert!(Level::item_capacity(512) >= 480);
+    }
+}

@@ -1,0 +1,50 @@
+//! # stegfs-oblivious
+//!
+//! The paper's primary contribution, part 2 (Section 5): an **oblivious
+//! storage** that hides read traffic from an attacker who can observe the I/O
+//! requests between the agent and the raw storage.
+//!
+//! Write traffic is already hidden by the relocation scheme of the `steghide`
+//! crate; reads are harder because data must be fetched from wherever it
+//! lives. The oblivious storage solves this with a hierarchy of shuffled
+//! cache levels inspired by the oblivious RAM of Goldreich & Ostrovsky:
+//!
+//! * level *i* holds `2^i · B` blocks, where `B` is the agent's buffer size;
+//!   the last of the `k = log2(N/B)` levels is big enough for every block
+//!   users may read;
+//! * a read touches **one block in every level** — the real block in the
+//!   highest level that holds it, uniformly random blocks in all the others —
+//!   so the access pattern is independent of what was actually requested;
+//! * whenever the buffer fills it is flushed into level 1, and a full level
+//!   *i* cascades into level *i+1*; the receiving level is then re-encrypted
+//!   and **re-ordered to a fresh random permutation with an external merge
+//!   sort**, so any block is read at most once per permutation epoch;
+//! * a per-level **hash index** (rebuilt, with a fresh nonce, at every
+//!   re-order) maps logical block ids to slots, costing one extra I/O per
+//!   level per read — which is why the paper's per-read cost is
+//!   `2k + 4k(log_B 2^k + 1) ≈ 10·k` I/Os (Table 4).
+//!
+//! [`ObliviousStore`] implements the hierarchy (Figure 8(b));
+//! [`ObliviousReadFront`] implements the randomized first-fetch path from the
+//! persistent StegFS partition (Figure 8(a)). The persistent partition is
+//! needed because the oblivious store shuffles blocks constantly and the
+//! agent cannot update headers of files whose owners are not logged in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod extsort;
+mod front;
+mod hashindex;
+mod level;
+mod stats;
+mod store;
+
+pub use config::ObliviousConfig;
+pub use error::ObliviousError;
+pub use extsort::{ExternalSorter, SortRecord};
+pub use front::ObliviousReadFront;
+pub use stats::ObliviousStats;
+pub use store::ObliviousStore;

@@ -1,0 +1,269 @@
+//! The agent's classification of physical blocks.
+//!
+//! The raw volume itself never records which blocks hold data — that is the
+//! whole point of the steganographic layout. The *agent*, however, needs to
+//! know where it may allocate and which blocks it may dummy-update:
+//!
+//! * the **non-volatile agent** (Construction 1) keeps a complete map
+//!   persistently ("we use a bitmap to mark data blocks against dummy
+//!   blocks", Section 6.2);
+//! * the **volatile agent** (Construction 2) starts with an empty map and
+//!   fills it in as users log on and disclose their files' FAKs
+//!   (Section 4.2.2).
+
+use stegfs_blockdev::BlockId;
+
+/// Classification of one physical block from the agent's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockClass {
+    /// Reserved for volume metadata (the superblock).
+    Reserved,
+    /// Known to hold live data: a file header, indirect block or content
+    /// block of a registered hidden file.
+    Data,
+    /// Abandoned / dummy: contains random bytes (or belongs to a dummy file)
+    /// and may be overwritten or dummy-updated freely.
+    Dummy,
+    /// Not yet classified — the volatile agent has not seen a file covering
+    /// this block. Unknown blocks must not be allocated (they might belong to
+    /// a user who has not logged in) and cannot be dummy-updated (the agent
+    /// has no key for them).
+    Unknown,
+}
+
+/// A dense map from physical block number to [`BlockClass`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMap {
+    classes: Vec<BlockClass>,
+    data_count: u64,
+    dummy_count: u64,
+}
+
+impl BlockMap {
+    /// Create a map of `num_blocks` blocks, all [`BlockClass::Unknown`] except
+    /// block 0 which is [`BlockClass::Reserved`].
+    pub fn new_unknown(num_blocks: u64) -> Self {
+        let mut classes = vec![BlockClass::Unknown; num_blocks as usize];
+        if !classes.is_empty() {
+            classes[0] = BlockClass::Reserved;
+        }
+        Self {
+            classes,
+            data_count: 0,
+            dummy_count: 0,
+        }
+    }
+
+    /// Create a map of `num_blocks` blocks, all [`BlockClass::Dummy`] except
+    /// block 0 — the non-volatile agent's view of a freshly formatted volume.
+    pub fn new_all_dummy(num_blocks: u64) -> Self {
+        let mut classes = vec![BlockClass::Dummy; num_blocks as usize];
+        if !classes.is_empty() {
+            classes[0] = BlockClass::Reserved;
+        }
+        Self {
+            dummy_count: num_blocks.saturating_sub(1),
+            classes,
+            data_count: 0,
+        }
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> u64 {
+        self.classes.len() as u64
+    }
+
+    /// Classification of `block`.
+    pub fn class(&self, block: BlockId) -> BlockClass {
+        self.classes[block as usize]
+    }
+
+    /// Reclassify `block`.
+    pub fn set(&mut self, block: BlockId, class: BlockClass) {
+        let old = self.classes[block as usize];
+        if old == class {
+            return;
+        }
+        match old {
+            BlockClass::Data => self.data_count -= 1,
+            BlockClass::Dummy => self.dummy_count -= 1,
+            _ => {}
+        }
+        match class {
+            BlockClass::Data => self.data_count += 1,
+            BlockClass::Dummy => self.dummy_count += 1,
+            _ => {}
+        }
+        self.classes[block as usize] = class;
+    }
+
+    /// Number of blocks currently classified as data.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_count
+    }
+
+    /// Number of blocks currently classified as dummy.
+    pub fn dummy_blocks(&self) -> u64 {
+        self.dummy_count
+    }
+
+    /// Space utilisation as the paper defines it: fraction of the payload
+    /// blocks that hold data. (`D/N` complement; Section 4.1.5 expresses the
+    /// update overhead as `N/D` where `D` is the number of dummy blocks.)
+    pub fn utilisation(&self) -> f64 {
+        let payload = self.num_blocks().saturating_sub(1);
+        if payload == 0 {
+            0.0
+        } else {
+            self.data_count as f64 / payload as f64
+        }
+    }
+
+    /// Iterator over the blocks in a given class.
+    pub fn blocks_in_class(&self, class: BlockClass) -> impl Iterator<Item = BlockId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c == class)
+            .map(|(i, _)| i as BlockId)
+    }
+
+    /// Serialize to a compact byte form (2 bits per block) so the
+    /// non-volatile agent can persist its map.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.classes.len() / 4 + 1);
+        out.extend_from_slice(&(self.classes.len() as u64).to_le_bytes());
+        let mut current = 0u8;
+        let mut filled = 0;
+        for &c in &self.classes {
+            let bits = match c {
+                BlockClass::Reserved => 0u8,
+                BlockClass::Data => 1,
+                BlockClass::Dummy => 2,
+                BlockClass::Unknown => 3,
+            };
+            current |= bits << (filled * 2);
+            filled += 1;
+            if filled == 4 {
+                out.push(current);
+                current = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            out.push(current);
+        }
+        out
+    }
+
+    /// Reconstruct a map from [`BlockMap::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        let needed = 8 + n.div_ceil(4);
+        if bytes.len() < needed {
+            return None;
+        }
+        let mut map = Self {
+            classes: Vec::with_capacity(n),
+            data_count: 0,
+            dummy_count: 0,
+        };
+        for i in 0..n {
+            let byte = bytes[8 + i / 4];
+            let bits = (byte >> ((i % 4) * 2)) & 0b11;
+            let class = match bits {
+                0 => BlockClass::Reserved,
+                1 => BlockClass::Data,
+                2 => BlockClass::Dummy,
+                _ => BlockClass::Unknown,
+            };
+            match class {
+                BlockClass::Data => map.data_count += 1,
+                BlockClass::Dummy => map.dummy_count += 1,
+                _ => {}
+            }
+            map.classes.push(class);
+        }
+        Some(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_all_dummy_counts() {
+        let map = BlockMap::new_all_dummy(100);
+        assert_eq!(map.num_blocks(), 100);
+        assert_eq!(map.class(0), BlockClass::Reserved);
+        assert_eq!(map.class(1), BlockClass::Dummy);
+        assert_eq!(map.dummy_blocks(), 99);
+        assert_eq!(map.data_blocks(), 0);
+        assert_eq!(map.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn set_updates_counts() {
+        let mut map = BlockMap::new_all_dummy(10);
+        map.set(3, BlockClass::Data);
+        map.set(4, BlockClass::Data);
+        assert_eq!(map.data_blocks(), 2);
+        assert_eq!(map.dummy_blocks(), 7);
+        map.set(3, BlockClass::Dummy);
+        assert_eq!(map.data_blocks(), 1);
+        assert_eq!(map.dummy_blocks(), 8);
+        // Setting the same class twice is a no-op.
+        map.set(4, BlockClass::Data);
+        assert_eq!(map.data_blocks(), 1);
+    }
+
+    #[test]
+    fn utilisation_matches_definition() {
+        let mut map = BlockMap::new_all_dummy(101);
+        for b in 1..=25 {
+            map.set(b, BlockClass::Data);
+        }
+        assert!((map.utilisation() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_map_starts_unclassified() {
+        let map = BlockMap::new_unknown(10);
+        assert_eq!(map.class(5), BlockClass::Unknown);
+        assert_eq!(map.data_blocks(), 0);
+        assert_eq!(map.dummy_blocks(), 0);
+    }
+
+    #[test]
+    fn blocks_in_class_iterates() {
+        let mut map = BlockMap::new_all_dummy(10);
+        map.set(2, BlockClass::Data);
+        map.set(7, BlockClass::Data);
+        let data: Vec<_> = map.blocks_in_class(BlockClass::Data).collect();
+        assert_eq!(data, vec![2, 7]);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut map = BlockMap::new_all_dummy(37);
+        map.set(5, BlockClass::Data);
+        map.set(11, BlockClass::Unknown);
+        map.set(36, BlockClass::Data);
+        let bytes = map.to_bytes();
+        let restored = BlockMap::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, map);
+        assert_eq!(restored.data_blocks(), 2);
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncated_input() {
+        let map = BlockMap::new_all_dummy(64);
+        let bytes = map.to_bytes();
+        assert!(BlockMap::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(BlockMap::from_bytes(&[1, 2, 3]).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the StegFS substrate.
+
+use stegfs_blockdev::DeviceError;
+use stegfs_crypto::CbcError;
+
+/// Errors produced by the steganographic file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Underlying block device error.
+    Device(DeviceError),
+    /// Cipher-level error (unaligned buffers).
+    Cipher(String),
+    /// The volume superblock is missing or corrupt.
+    BadSuperblock(String),
+    /// A header block did not decrypt to a valid header under the supplied
+    /// key — either the key/path is wrong or no such hidden file exists.
+    /// (Deliberately indistinguishable, per the steganographic goal.)
+    NoSuchFile,
+    /// A file with the same derived header location already exists.
+    HeaderCollision {
+        /// The contended physical block.
+        block: u64,
+    },
+    /// The volume has too few free (non-data) blocks for the request.
+    NoSpace {
+        /// Blocks requested.
+        requested: u64,
+        /// Blocks available.
+        available: u64,
+    },
+    /// The file is too large for the header's pointer capacity.
+    FileTooLarge {
+        /// Requested size in bytes.
+        size: u64,
+        /// Maximum supported size in bytes.
+        max: u64,
+    },
+    /// An offset or block index beyond the end of the file was addressed.
+    OutOfBounds {
+        /// Requested block index within the file.
+        index: u64,
+        /// Number of content blocks in the file.
+        len: u64,
+    },
+    /// A structurally invalid header or directory payload was encountered.
+    Corrupt(String),
+    /// The operation requires a content key but the FAK carries none (it is a
+    /// dummy file, or the owner withheld the content key for deniability).
+    NoContentKey,
+}
+
+impl core::fmt::Display for FsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FsError::Device(e) => write!(f, "device error: {e}"),
+            FsError::Cipher(msg) => write!(f, "cipher error: {msg}"),
+            FsError::BadSuperblock(msg) => write!(f, "bad superblock: {msg}"),
+            FsError::NoSuchFile => write!(f, "no such hidden file (or wrong access key)"),
+            FsError::HeaderCollision { block } => {
+                write!(f, "header location collision at block {block}")
+            }
+            FsError::NoSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "not enough free blocks: requested {requested}, available {available}"
+            ),
+            FsError::FileTooLarge { size, max } => {
+                write!(f, "file of {size} bytes exceeds the maximum of {max} bytes")
+            }
+            FsError::OutOfBounds { index, len } => {
+                write!(f, "block index {index} out of bounds for a {len}-block file")
+            }
+            FsError::Corrupt(msg) => write!(f, "corrupt on-disk structure: {msg}"),
+            FsError::NoContentKey => write!(f, "operation requires a content key"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<DeviceError> for FsError {
+    fn from(e: DeviceError) -> Self {
+        FsError::Device(e)
+    }
+}
+
+impl From<CbcError> for FsError {
+    fn from(e: CbcError) -> Self {
+        FsError::Cipher(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FsError::NoSpace {
+            requested: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("requested 10"));
+        let e = FsError::NoSuchFile;
+        assert!(e.to_string().contains("hidden file"));
+    }
+
+    #[test]
+    fn device_error_converts() {
+        let d = DeviceError::OutOfRange {
+            block: 1,
+            num_blocks: 1,
+        };
+        let e: FsError = d.clone().into();
+        assert_eq!(e, FsError::Device(d));
+    }
+}

@@ -1,0 +1,197 @@
+//! File access keys.
+//!
+//! Section 4.2.1 of the paper:
+//!
+//! > the FAK of each hidden file comprises 3 components – the location of the
+//! > file header, a header key for encrypting the header information, and a
+//! > content key for encrypting the file content. \[...\] Within the FAK of a
+//! > dummy file, only the location of the header and the header key are used;
+//! > the content key is not utilized because the file contains only random
+//! > bytes.
+//!
+//! > With this scheme, a user who is being compelled to disclose his hidden
+//! > files can just expose some dummy files and remain silent on his hidden
+//! > data. He can even reveal the header key for a hidden file but give a
+//! > wrong content key, and claim that the file is a dummy.
+
+use stegfs_crypto::{HmacSha256, Key256};
+
+/// The access key to one hidden (or dummy) file.
+///
+/// All three components are derived deterministically from a master secret
+/// and the file's path, so users only need to remember (or store on a
+/// smartcard) one secret per file — or a single master passphrase from which
+/// per-file secrets are derived.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FileAccessKey {
+    /// Secret from which the header location is derived.
+    location_secret: Key256,
+    /// Key encrypting the header block.
+    header_key: Key256,
+    /// Key encrypting the content blocks, if known. `None` models a user who
+    /// discloses a header but withholds (or never had) the content key — i.e.
+    /// a dummy file or a deniable disclosure.
+    content_key: Option<Key256>,
+}
+
+impl FileAccessKey {
+    /// Derive a full FAK from a master secret. Header and content keys are
+    /// independent sub-keys of the master.
+    pub fn from_master(master: &Key256) -> Self {
+        Self {
+            location_secret: master.derive("stegfs:location"),
+            header_key: master.derive("stegfs:header"),
+            content_key: Some(master.derive("stegfs:content")),
+        }
+    }
+
+    /// Derive a FAK from a passphrase (convenience for examples and tests).
+    pub fn from_passphrase(passphrase: &str) -> Self {
+        Self::from_master(&Key256::from_passphrase(passphrase))
+    }
+
+    /// Construct a FAK from explicit components.
+    pub fn from_parts(
+        location_secret: Key256,
+        header_key: Key256,
+        content_key: Option<Key256>,
+    ) -> Self {
+        Self {
+            location_secret,
+            header_key,
+            content_key,
+        }
+    }
+
+    /// The same FAK with the content key withheld: what a coerced owner would
+    /// reveal while claiming the file is a dummy.
+    pub fn without_content_key(&self) -> Self {
+        Self {
+            location_secret: self.location_secret,
+            header_key: self.header_key,
+            content_key: None,
+        }
+    }
+
+    /// The same FAK with a deliberately wrong content key — the other
+    /// deniability move Section 4.2.1 describes.
+    pub fn with_wrong_content_key(&self) -> Self {
+        Self {
+            location_secret: self.location_secret,
+            header_key: self.header_key,
+            content_key: Some(self.header_key.derive("stegfs:decoy-content")),
+        }
+    }
+
+    /// Key encrypting the header block.
+    pub fn header_key(&self) -> &Key256 {
+        &self.header_key
+    }
+
+    /// Key encrypting content blocks, if available.
+    pub fn content_key(&self) -> Option<&Key256> {
+        self.content_key.as_ref()
+    }
+
+    /// Whether a content key is present.
+    pub fn has_content_key(&self) -> bool {
+        self.content_key.is_some()
+    }
+
+    /// Derive the header block location for a file at `path` on a volume with
+    /// `payload_blocks` payload blocks and public `salt`, plus a probe
+    /// sequence for collision resolution.
+    ///
+    /// The location is `HMAC(location_secret, salt ‖ path ‖ probe) mod
+    /// payload_blocks`, mapped into `1..num_blocks` (block 0 is the
+    /// superblock). Without the FAK the sequence is unpredictable; with it,
+    /// the agent can find the header directly — Section 4.1.2.
+    pub fn header_location(&self, salt: &[u8; 16], path: &str, probe: u32, payload_blocks: u64) -> u64 {
+        let mut msg = Vec::with_capacity(16 + path.len() + 4);
+        msg.extend_from_slice(salt);
+        msg.extend_from_slice(path.as_bytes());
+        msg.extend_from_slice(&probe.to_le_bytes());
+        let h = HmacSha256::derive_u64(self.location_secret.as_bytes(), &msg);
+        1 + (h % payload_blocks)
+    }
+}
+
+impl core::fmt::Debug for FileAccessKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FileAccessKey")
+            .field("has_content_key", &self.content_key.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = FileAccessKey::from_passphrase("alice-secret");
+        let b = FileAccessKey::from_passphrase("alice-secret");
+        assert_eq!(a, b);
+        assert_ne!(a, FileAccessKey::from_passphrase("bob-secret"));
+    }
+
+    #[test]
+    fn header_and_content_keys_differ() {
+        let fak = FileAccessKey::from_passphrase("secret");
+        assert_ne!(fak.header_key(), fak.content_key().unwrap());
+    }
+
+    #[test]
+    fn header_location_depends_on_everything() {
+        let fak = FileAccessKey::from_passphrase("secret");
+        let other = FileAccessKey::from_passphrase("other");
+        let salt = [1u8; 16];
+        let salt2 = [2u8; 16];
+        let n = 1_000_000;
+        let base = fak.header_location(&salt, "/a", 0, n);
+        assert_eq!(base, fak.header_location(&salt, "/a", 0, n));
+        assert_ne!(base, fak.header_location(&salt, "/b", 0, n));
+        assert_ne!(base, fak.header_location(&salt, "/a", 1, n));
+        assert_ne!(base, fak.header_location(&salt2, "/a", 0, n));
+        assert_ne!(base, other.header_location(&salt, "/a", 0, n));
+    }
+
+    #[test]
+    fn header_location_never_hits_superblock() {
+        let fak = FileAccessKey::from_passphrase("x");
+        let salt = [0u8; 16];
+        for probe in 0..64 {
+            for n in [2u64, 3, 10, 1000] {
+                let loc = fak.header_location(&salt, "/f", probe, n);
+                assert!(loc >= 1 && loc <= n, "loc {loc} for n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn withheld_and_wrong_content_keys() {
+        let fak = FileAccessKey::from_passphrase("secret");
+        let withheld = fak.without_content_key();
+        assert!(!withheld.has_content_key());
+        assert_eq!(withheld.header_key(), fak.header_key());
+
+        let decoy = fak.with_wrong_content_key();
+        assert!(decoy.has_content_key());
+        assert_ne!(decoy.content_key(), fak.content_key());
+        // Location and header key are unchanged, so the decoy opens the same
+        // header.
+        let salt = [9u8; 16];
+        assert_eq!(
+            decoy.header_location(&salt, "/f", 0, 100),
+            fak.header_location(&salt, "/f", 0, 100)
+        );
+    }
+
+    #[test]
+    fn debug_does_not_leak_secrets() {
+        let fak = FileAccessKey::from_passphrase("super secret passphrase");
+        let s = format!("{fak:?}");
+        assert!(!s.contains("secret"));
+    }
+}

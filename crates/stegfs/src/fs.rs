@@ -1,0 +1,923 @@
+//! The steganographic file system proper.
+//!
+//! [`StegFs`] implements the ICDE-2003 StegFS substrate the paper builds on:
+//! hidden files stored as encrypted block trees scattered uniformly over the
+//! volume, located only through their file access keys. It deliberately does
+//! *not* hide accesses — updates happen in place and reads go straight to the
+//! addressed blocks — because it is the "StegFS" baseline of the paper's
+//! evaluation. The access-hiding behaviour is layered on top by the
+//! `steghide` agent (updates) and `stegfs-oblivious` (reads).
+//!
+//! Block allocation is delegated to the caller through a [`BlockMap`]: the
+//! map is the *agent's* knowledge, not the volume's (the volume must not
+//! record which blocks are live).
+
+use parking_lot::Mutex;
+
+use stegfs_blockdev::{BlockDevice, BlockId};
+use stegfs_crypto::HashDrbg;
+
+use crate::blockmap::{BlockClass, BlockMap};
+use crate::codec::BlockCodec;
+use crate::error::FsError;
+use crate::fak::FileAccessKey;
+use crate::header::{FileHeader, FileKind, HeaderCaps};
+use crate::layout::{Superblock, DEFAULT_BLOCK_SIZE, SUPERBLOCK_BLOCK};
+
+/// Configuration for formatting a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StegFsConfig {
+    /// Block size in bytes (must leave a 16-byte-aligned data field).
+    pub block_size: usize,
+    /// Maximum number of probe positions tried when locating a header.
+    pub header_probe_limit: u32,
+    /// Whether to physically fill abandoned blocks with random bytes at
+    /// format time. Filling is what a real deployment does (it is what makes
+    /// abandoned and live blocks indistinguishable); benchmarks that only
+    /// care about I/O timing can skip it to keep volume set-up fast.
+    pub fill_on_format: bool,
+}
+
+impl Default for StegFsConfig {
+    fn default() -> Self {
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+            header_probe_limit: 64,
+            fill_on_format: true,
+        }
+    }
+}
+
+impl StegFsConfig {
+    /// A configuration that skips the random fill at format time; used by the
+    /// benchmark harness where volumes are large and only timing matters.
+    pub fn without_fill(mut self) -> Self {
+        self.fill_on_format = false;
+        self
+    }
+
+    /// Override the block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+}
+
+/// An open hidden (or dummy) file: its access key, the location of its header
+/// and the in-memory header itself.
+///
+/// The header is cached here while the file is open — exactly the cache the
+/// paper relies on to make block relocation cheap — and written back by
+/// [`StegFs::save`].
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    /// Path name supplied by the owner.
+    pub path: String,
+    /// Access key for this file.
+    pub fak: FileAccessKey,
+    /// Physical block holding the header.
+    pub header_location: BlockId,
+    /// Physical blocks holding indirect pointer blocks.
+    pub indirect_locations: Vec<BlockId>,
+    /// The cached header.
+    pub header: FileHeader,
+    /// Set when the cached header differs from the on-disk copy.
+    pub dirty: bool,
+}
+
+impl OpenFile {
+    /// Whether this is a dummy file.
+    pub fn is_dummy(&self) -> bool {
+        self.header.kind == FileKind::Dummy
+    }
+
+    /// All physical blocks belonging to this file (header, indirect and
+    /// content blocks).
+    pub fn all_blocks(&self) -> Vec<BlockId> {
+        let mut v = Vec::with_capacity(1 + self.indirect_locations.len() + self.header.blocks.len());
+        v.push(self.header_location);
+        v.extend_from_slice(&self.indirect_locations);
+        v.extend_from_slice(&self.header.blocks);
+        v
+    }
+
+    /// Number of content blocks.
+    pub fn num_content_blocks(&self) -> u64 {
+        self.header.num_blocks()
+    }
+}
+
+/// The steganographic file system over a block device.
+pub struct StegFs<D> {
+    device: D,
+    superblock: Superblock,
+    codec: BlockCodec,
+    caps: HeaderCaps,
+    probe_limit: u32,
+    rng: Mutex<HashDrbg>,
+}
+
+impl<D: BlockDevice> StegFs<D> {
+    /// Format `device` as a fresh steganographic volume and return the
+    /// mounted file system together with the agent's (all-dummy) block map.
+    pub fn format(device: D, cfg: StegFsConfig, seed: u64) -> Result<(Self, BlockMap), FsError> {
+        let block_size = cfg.block_size;
+        assert_eq!(
+            block_size,
+            device.block_size(),
+            "config block size must match the device"
+        );
+        let num_blocks = device.num_blocks();
+        if num_blocks < 2 {
+            return Err(FsError::BadSuperblock(
+                "volume needs at least two blocks".to_string(),
+            ));
+        }
+        let mut rng = HashDrbg::new(&seed.to_be_bytes());
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        let superblock = Superblock::new(block_size as u32, num_blocks, salt);
+
+        let mut sb_block = vec![0u8; block_size];
+        superblock.encode_into(&mut sb_block);
+        device.write_block(SUPERBLOCK_BLOCK, &sb_block)?;
+
+        let codec = BlockCodec::new(block_size);
+        if cfg.fill_on_format {
+            // Abandon every payload block: fill with random bytes so that
+            // nothing distinguishes them from future encrypted data blocks.
+            let mut fill = stegfs_crypto::HashDrbg::new(&seed.to_le_bytes());
+            let mut fast = FastFill::new(&mut fill);
+            let mut buf = vec![0u8; block_size];
+            for b in 1..num_blocks {
+                fast.fill(&mut buf);
+                device.write_block(b, &buf)?;
+            }
+        }
+
+        let fs = Self {
+            device,
+            superblock,
+            caps: HeaderCaps::for_data_field(codec.data_field_len()),
+            codec,
+            probe_limit: cfg.header_probe_limit,
+            rng: Mutex::new(rng),
+        };
+        let map = BlockMap::new_all_dummy(num_blocks);
+        Ok((fs, map))
+    }
+
+    /// Mount an already formatted volume.
+    pub fn mount(device: D) -> Result<Self, FsError> {
+        Self::mount_with(device, StegFsConfig::default().header_probe_limit, 0xfeed_beef)
+    }
+
+    /// Mount with an explicit probe limit and RNG seed.
+    pub fn mount_with(device: D, probe_limit: u32, seed: u64) -> Result<Self, FsError> {
+        let mut sb_block = vec![0u8; device.block_size()];
+        device.read_block(SUPERBLOCK_BLOCK, &mut sb_block)?;
+        let superblock = Superblock::decode(&sb_block).map_err(FsError::BadSuperblock)?;
+        if superblock.block_size as usize != device.block_size()
+            || superblock.num_blocks != device.num_blocks()
+        {
+            return Err(FsError::BadSuperblock(format!(
+                "superblock geometry ({} x {}) does not match device ({} x {})",
+                superblock.num_blocks,
+                superblock.block_size,
+                device.num_blocks(),
+                device.block_size()
+            )));
+        }
+        let codec = BlockCodec::new(superblock.block_size as usize);
+        Ok(Self {
+            caps: HeaderCaps::for_data_field(codec.data_field_len()),
+            codec,
+            superblock,
+            device,
+            probe_limit,
+            rng: Mutex::new(HashDrbg::new(&seed.to_be_bytes())),
+        })
+    }
+
+    /// The volume superblock.
+    pub fn superblock(&self) -> &Superblock {
+        &self.superblock
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Consume the file system and return the underlying device.
+    pub fn into_device(self) -> D {
+        self.device
+    }
+
+    /// The block codec (seal/open/reseal).
+    pub fn codec(&self) -> &BlockCodec {
+        &self.codec
+    }
+
+    /// Header pointer capacities for this volume's block size.
+    pub fn caps(&self) -> &HeaderCaps {
+        &self.caps
+    }
+
+    /// Bytes of content stored per content block.
+    pub fn content_bytes_per_block(&self) -> usize {
+        self.codec.data_field_len()
+    }
+
+    /// Number of content blocks needed to store `len` bytes.
+    pub fn blocks_for_len(&self, len: u64) -> u64 {
+        len.div_ceil(self.content_bytes_per_block() as u64).max(1)
+    }
+
+    /// Draw a uniformly random payload block number.
+    pub fn random_payload_block(&self) -> BlockId {
+        1 + self.rng.lock().gen_range(self.superblock.payload_blocks())
+    }
+
+    /// Run `f` with the file system's RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut HashDrbg) -> R) -> R {
+        f(&mut self.rng.lock())
+    }
+
+    /// Allocate `count` distinct blocks uniformly at random among the blocks
+    /// `map` classifies as dummy, marking them as data. Mirrors the paper's
+    /// "scattered across the storage space" placement.
+    pub fn allocate_blocks(&self, map: &mut BlockMap, count: u64) -> Result<Vec<BlockId>, FsError> {
+        if map.dummy_blocks() < count {
+            return Err(FsError::NoSpace {
+                requested: count,
+                available: map.dummy_blocks(),
+            });
+        }
+        let mut rng = self.rng.lock();
+        let mut out = Vec::with_capacity(count as usize);
+        let payload = self.superblock.payload_blocks();
+        while (out.len() as u64) < count {
+            let candidate = 1 + rng.gen_range(payload);
+            if map.class(candidate) == BlockClass::Dummy {
+                map.set(candidate, BlockClass::Data);
+                out.push(candidate);
+            }
+            // Non-dummy candidates are simply skipped; with utilisation kept
+            // below 50 % the expected number of retries per block is < 2
+            // (Section 4.1.5's N/D argument).
+        }
+        Ok(out)
+    }
+
+    /// Release blocks back to the dummy pool, refilling them with random
+    /// bytes so they are indistinguishable from never-used blocks.
+    pub fn release_blocks(&self, map: &mut BlockMap, blocks: &[BlockId]) -> Result<(), FsError> {
+        let mut rng = self.rng.lock();
+        for &b in blocks {
+            self.codec.write_random(&self.device, b, &mut rng)?;
+            map.set(b, BlockClass::Dummy);
+        }
+        Ok(())
+    }
+
+    fn header_candidates(&self, fak: &FileAccessKey, path: &str) -> Vec<BlockId> {
+        (0..self.probe_limit)
+            .map(|probe| {
+                fak.header_location(
+                    &self.superblock.salt,
+                    path,
+                    probe,
+                    self.superblock.payload_blocks(),
+                )
+            })
+            .collect()
+    }
+
+    /// Create a hidden file at `path` with the given content.
+    pub fn create_file(
+        &self,
+        map: &mut BlockMap,
+        path: &str,
+        fak: &FileAccessKey,
+        content: &[u8],
+    ) -> Result<OpenFile, FsError> {
+        if !fak.has_content_key() {
+            return Err(FsError::NoContentKey);
+        }
+        self.create_inner(
+            map,
+            path,
+            fak,
+            FileKind::Data,
+            content.len() as u64,
+            ContentInit::Bytes(content),
+        )
+    }
+
+    /// Create a hidden file of `size` bytes at `path` without writing its
+    /// content blocks (they keep whatever the volume already holds). The I/O
+    /// and timing behaviour of subsequent reads and updates is identical to a
+    /// fully written file, so the benchmark harness uses this to set up large
+    /// populations quickly; real deployments use [`StegFs::create_file`].
+    pub fn create_file_sparse(
+        &self,
+        map: &mut BlockMap,
+        path: &str,
+        fak: &FileAccessKey,
+        size: u64,
+    ) -> Result<OpenFile, FsError> {
+        if !fak.has_content_key() {
+            return Err(FsError::NoContentKey);
+        }
+        self.create_inner(map, path, fak, FileKind::Data, size, ContentInit::Skip)
+    }
+
+    /// Create a dummy file of `num_blocks` content blocks at `path`. Its
+    /// content blocks are filled with random bytes; only the header is real.
+    pub fn create_dummy_file(
+        &self,
+        map: &mut BlockMap,
+        path: &str,
+        fak: &FileAccessKey,
+        num_blocks: u64,
+    ) -> Result<OpenFile, FsError> {
+        let size = num_blocks * self.content_bytes_per_block() as u64;
+        self.create_inner(map, path, fak, FileKind::Dummy, size, ContentInit::Random)
+    }
+
+    /// Create a dummy file whose content blocks are left untouched instead of
+    /// being filled with fresh random bytes. On a properly formatted volume
+    /// the blocks already contain random data, so this is equivalent to
+    /// [`StegFs::create_dummy_file`] but much faster for benchmark set-up.
+    pub fn create_dummy_file_sparse(
+        &self,
+        map: &mut BlockMap,
+        path: &str,
+        fak: &FileAccessKey,
+        num_blocks: u64,
+    ) -> Result<OpenFile, FsError> {
+        let size = num_blocks * self.content_bytes_per_block() as u64;
+        self.create_inner(map, path, fak, FileKind::Dummy, size, ContentInit::Skip)
+    }
+
+    fn create_inner(
+        &self,
+        map: &mut BlockMap,
+        path: &str,
+        fak: &FileAccessKey,
+        kind: FileKind,
+        file_size: u64,
+        content: ContentInit<'_>,
+    ) -> Result<OpenFile, FsError> {
+        let content_blocks = self.blocks_for_len(file_size);
+        if content_blocks > self.caps.max_content_blocks() {
+            return Err(FsError::FileTooLarge {
+                size: file_size,
+                max: self.caps.max_content_blocks() * self.content_bytes_per_block() as u64,
+            });
+        }
+
+        // Find a header slot: the first probe position not already holding
+        // live data. Blocks the agent has not classified (`Unknown`, which
+        // only the volatile agent ever has) are accepted too — placing a
+        // header there carries the same overwrite risk as in the original
+        // StegFS, where the agent simply cannot know about files whose owners
+        // are not logged in.
+        let candidates = self.header_candidates(fak, path);
+        let header_location = *candidates
+            .iter()
+            .find(|&&b| matches!(map.class(b), BlockClass::Dummy | BlockClass::Unknown))
+            .ok_or(FsError::HeaderCollision {
+                block: *candidates.last().unwrap_or(&0),
+            })?;
+        map.set(header_location, BlockClass::Data);
+
+        // Allocate content and indirect blocks.
+        let content_locs = match self.allocate_blocks(map, content_blocks) {
+            Ok(locs) => locs,
+            Err(e) => {
+                map.set(header_location, BlockClass::Dummy);
+                return Err(e);
+            }
+        };
+        let indirect_needed = self.caps.indirect_blocks_needed(content_blocks);
+        let indirect_locs = match self.allocate_blocks(map, indirect_needed) {
+            Ok(locs) => locs,
+            Err(e) => {
+                map.set(header_location, BlockClass::Dummy);
+                for &b in &content_locs {
+                    map.set(b, BlockClass::Dummy);
+                }
+                return Err(e);
+            }
+        };
+
+        // Write content blocks.
+        let per_block = self.content_bytes_per_block();
+        let mut rng = self.rng.lock();
+        match content {
+            ContentInit::Bytes(bytes) => {
+                let content_key = fak.content_key().ok_or(FsError::NoContentKey)?;
+                for (i, &loc) in content_locs.iter().enumerate() {
+                    let start = i * per_block;
+                    let end = (start + per_block).min(bytes.len());
+                    let chunk = if start < bytes.len() {
+                        &bytes[start..end]
+                    } else {
+                        &[][..]
+                    };
+                    self.codec
+                        .write_sealed(&self.device, loc, content_key, chunk, &mut rng)?;
+                }
+            }
+            ContentInit::Random => {
+                for &loc in &content_locs {
+                    self.codec.write_random(&self.device, loc, &mut rng)?;
+                }
+            }
+            ContentInit::Skip => {}
+        }
+        drop(rng);
+
+        let header = FileHeader::new(
+            kind,
+            file_size,
+            FileHeader::path_tag_for(fak.header_key(), path),
+            content_locs,
+        );
+        let mut open = OpenFile {
+            path: path.to_string(),
+            fak: fak.clone(),
+            header_location,
+            indirect_locations: indirect_locs,
+            header,
+            dirty: true,
+        };
+        self.save(&mut open)?;
+        Ok(open)
+    }
+
+    /// Open a hidden file given its access key and path. Fails with
+    /// [`FsError::NoSuchFile`] if no header decrypts correctly — which is
+    /// also what happens for a wrong key, making absence and ignorance
+    /// indistinguishable.
+    pub fn open_file(&self, fak: &FileAccessKey, path: &str) -> Result<OpenFile, FsError> {
+        let expected_tag = FileHeader::path_tag_for(fak.header_key(), path);
+        for candidate in self.header_candidates(fak, path) {
+            let payload = self
+                .codec
+                .read_sealed(&self.device, candidate, fak.header_key())?;
+            match FileHeader::decode_prefix(&payload, &self.caps) {
+                Ok((mut header, indirect_locs)) => {
+                    if header.path_tag != expected_tag {
+                        // A valid header for a different path — keep probing.
+                        continue;
+                    }
+                    for &loc in &indirect_locs {
+                        let ind_payload =
+                            self.codec
+                                .read_sealed(&self.device, loc, fak.header_key())?;
+                        header.absorb_indirect(&ind_payload, &self.caps);
+                    }
+                    if !header.is_complete() {
+                        return Err(FsError::Corrupt(
+                            "header pointer list incomplete".to_string(),
+                        ));
+                    }
+                    return Ok(OpenFile {
+                        path: path.to_string(),
+                        fak: fak.clone(),
+                        header_location: candidate,
+                        indirect_locations: indirect_locs,
+                        header,
+                        dirty: false,
+                    });
+                }
+                Err(FsError::NoSuchFile) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(FsError::NoSuchFile)
+    }
+
+    /// Register an open file's blocks in the agent's block map — what the
+    /// volatile agent does when a user logs on and discloses a FAK
+    /// (Section 4.2.2).
+    pub fn register_file(&self, map: &mut BlockMap, file: &OpenFile) {
+        let class = if file.is_dummy() {
+            // Dummy-file content blocks may be reused for data and are valid
+            // dummy-update targets.
+            BlockClass::Dummy
+        } else {
+            BlockClass::Data
+        };
+        map.set(file.header_location, BlockClass::Data);
+        for &b in &file.indirect_locations {
+            map.set(b, BlockClass::Data);
+        }
+        for &b in &file.header.blocks {
+            map.set(b, class);
+        }
+    }
+
+    /// Read one content block of an open file.
+    pub fn read_content_block(&self, file: &OpenFile, index: u64) -> Result<Vec<u8>, FsError> {
+        let loc = *file
+            .header
+            .blocks
+            .get(index as usize)
+            .ok_or(FsError::OutOfBounds {
+                index,
+                len: file.header.num_blocks(),
+            })?;
+        match file.header.kind {
+            FileKind::Data => {
+                let key = file.fak.content_key().ok_or(FsError::NoContentKey)?;
+                self.codec.read_sealed(&self.device, loc, key)
+            }
+            FileKind::Dummy => {
+                // Dummy content is meaningless; return the raw bytes.
+                let mut buf = vec![0u8; self.codec.block_size()];
+                self.device.read_block(loc, &mut buf)?;
+                Ok(buf[..self.content_bytes_per_block()].to_vec())
+            }
+        }
+    }
+
+    /// Read an entire file's contents.
+    pub fn read_file(&self, file: &OpenFile) -> Result<Vec<u8>, FsError> {
+        let mut out = Vec::with_capacity(file.header.file_size as usize);
+        let per_block = self.content_bytes_per_block();
+        for i in 0..file.header.num_blocks() {
+            let chunk = self.read_content_block(file, i)?;
+            out.extend_from_slice(&chunk);
+        }
+        out.truncate(file.header.file_size as usize);
+        let _ = per_block;
+        Ok(out)
+    }
+
+    /// Overwrite one content block *in place* — the plain StegFS behaviour
+    /// that the paper's update-analysis attack exploits (no relocation, no
+    /// dummy traffic). The steghide agent replaces this with the Figure 6
+    /// algorithm.
+    pub fn write_content_block(
+        &self,
+        file: &mut OpenFile,
+        index: u64,
+        data: &[u8],
+    ) -> Result<(), FsError> {
+        let loc = *file
+            .header
+            .blocks
+            .get(index as usize)
+            .ok_or(FsError::OutOfBounds {
+                index,
+                len: file.header.num_blocks(),
+            })?;
+        let key = file.fak.content_key().ok_or(FsError::NoContentKey)?;
+        let mut rng = self.rng.lock();
+        self.codec
+            .write_sealed(&self.device, loc, key, data, &mut rng)?;
+        Ok(())
+    }
+
+    /// Write the cached header (and indirect pointer blocks) back to the
+    /// volume. Called when a file is saved/closed.
+    pub fn save(&self, file: &mut OpenFile) -> Result<(), FsError> {
+        let (header_payload, indirect_payloads) = file.header.encode(
+            &self.caps,
+            self.codec.data_field_len(),
+            &file.indirect_locations,
+        )?;
+        let mut rng = self.rng.lock();
+        self.codec.write_sealed(
+            &self.device,
+            file.header_location,
+            file.fak.header_key(),
+            &header_payload,
+            &mut rng,
+        )?;
+        for (&loc, payload) in file.indirect_locations.iter().zip(indirect_payloads.iter()) {
+            self.codec
+                .write_sealed(&self.device, loc, file.fak.header_key(), payload, &mut rng)?;
+        }
+        file.dirty = false;
+        Ok(())
+    }
+
+    /// Delete a file: release all of its blocks back to the dummy pool.
+    pub fn delete_file(&self, map: &mut BlockMap, file: OpenFile) -> Result<(), FsError> {
+        let blocks = file.all_blocks();
+        self.release_blocks(map, &blocks)
+    }
+
+    /// Perform a dummy update (re-encrypt under a fresh IV) on `block` using
+    /// `key`. Exposed for the agent's idle-time dummy traffic.
+    pub fn reseal_block(&self, block: BlockId, key: &stegfs_crypto::Key256) -> Result<(), FsError> {
+        let mut rng = self.rng.lock();
+        self.codec.reseal(&self.device, block, key, &mut rng)
+    }
+
+    /// Overwrite `block` with fresh random bytes (used when a block is
+    /// abandoned, and as the "dummy update" for blocks that only ever held
+    /// random data).
+    pub fn randomize_block(&self, block: BlockId) -> Result<(), FsError> {
+        let mut rng = self.rng.lock();
+        self.codec.write_random(&self.device, block, &mut rng)
+    }
+}
+
+/// How the content blocks of a newly created file are initialised.
+enum ContentInit<'a> {
+    /// Seal the supplied bytes under the file's content key.
+    Bytes(&'a [u8]),
+    /// Fill with fresh random bytes (dummy files).
+    Random,
+    /// Leave the blocks untouched (sparse creation for benchmark set-up).
+    Skip,
+}
+
+/// Fast non-cryptographic fill used only for bulk-formatting abandoned
+/// blocks. Seeded from the volume's DRBG; statistical randomness is all that
+/// matters here (the blocks carry no information), and the DRBG itself would
+/// make formatting gigabyte-scale simulated volumes needlessly slow.
+struct FastFill {
+    state: [u64; 4],
+}
+
+impl FastFill {
+    fn new(seed_source: &mut HashDrbg) -> Self {
+        let mut state = [0u64; 4];
+        for s in state.iter_mut() {
+            *s = seed_source.next_u64() | 1;
+        }
+        Self { state }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xoshiro256** step.
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::{BlockDeviceExt, MemDevice};
+
+    fn small_fs() -> (StegFs<MemDevice>, BlockMap) {
+        let dev = MemDevice::new(512, 512);
+        StegFs::format(dev, StegFsConfig::default().with_block_size(512), 42).unwrap()
+    }
+
+    #[test]
+    fn format_and_mount_roundtrip() {
+        let dev = MemDevice::new(64, 512);
+        let (fs, map) = StegFs::format(dev, StegFsConfig::default().with_block_size(512), 1).unwrap();
+        assert_eq!(map.num_blocks(), 64);
+        assert_eq!(fs.superblock().num_blocks, 64);
+        let dev2 = fs.device();
+        // A formatted volume's payload blocks are non-zero (random fill).
+        let blk = dev2.read_block_vec(5).unwrap();
+        assert!(blk.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mount_rejects_unformatted_volume() {
+        let dev = MemDevice::new(64, 512);
+        assert!(StegFs::mount(dev).is_err());
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("alice");
+        let content: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        let file = fs.create_file(&mut map, "/secret/report", &fak, &content).unwrap();
+        assert_eq!(fs.read_file(&file).unwrap(), content);
+
+        // Re-open from scratch.
+        let reopened = fs.open_file(&fak, "/secret/report").unwrap();
+        assert_eq!(reopened.header_location, file.header_location);
+        assert_eq!(fs.read_file(&reopened).unwrap(), content);
+    }
+
+    #[test]
+    fn wrong_key_or_path_finds_nothing() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("alice");
+        fs.create_file(&mut map, "/secret", &fak, b"data").unwrap();
+
+        let wrong_key = FileAccessKey::from_passphrase("mallory");
+        assert_eq!(fs.open_file(&wrong_key, "/secret").unwrap_err(), FsError::NoSuchFile);
+        assert_eq!(fs.open_file(&fak, "/other").unwrap_err(), FsError::NoSuchFile);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let file = fs.create_file(&mut map, "/empty", &fak, b"").unwrap();
+        assert_eq!(fs.read_file(&file).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn multi_block_file_with_exact_boundary() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let per = fs.content_bytes_per_block();
+        let content = vec![0xabu8; per * 3];
+        let file = fs.create_file(&mut map, "/exact", &fak, &content).unwrap();
+        assert_eq!(file.num_content_blocks(), 3);
+        assert_eq!(fs.read_file(&file).unwrap(), content);
+    }
+
+    #[test]
+    fn in_place_update_changes_content() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let per = fs.content_bytes_per_block();
+        let content = vec![1u8; per * 2];
+        let mut file = fs.create_file(&mut map, "/f", &fak, &content).unwrap();
+        let new_block = vec![9u8; per];
+        fs.write_content_block(&mut file, 1, &new_block).unwrap();
+        let read = fs.read_file(&file).unwrap();
+        assert_eq!(&read[..per], &content[..per]);
+        assert_eq!(&read[per..], &new_block[..]);
+    }
+
+    #[test]
+    fn dummy_file_reads_are_random_bytes() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("dummy-owner").without_content_key();
+        let file = fs.create_dummy_file(&mut map, "/decoy", &fak, 2).unwrap();
+        assert!(file.is_dummy());
+        let bytes = fs.read_content_block(&file, 0).unwrap();
+        assert!(bytes.iter().any(|&b| b != 0));
+        // Re-open works with only the header key.
+        let reopened = fs.open_file(&fak, "/decoy").unwrap();
+        assert!(reopened.is_dummy());
+    }
+
+    #[test]
+    fn deniability_wrong_content_key_still_opens_header() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("owner");
+        let content = vec![0x33u8; 800];
+        fs.create_file(&mut map, "/real", &fak, &content).unwrap();
+
+        // The coerced owner reveals the header key but a wrong content key.
+        let decoy = fak.with_wrong_content_key();
+        let opened = fs.open_file(&decoy, "/real").unwrap();
+        // The header opens fine...
+        assert_eq!(opened.header.file_size, 800);
+        // ...but the content is garbage, which the owner passes off as a
+        // dummy file.
+        let read = fs.read_file(&opened).unwrap();
+        assert_ne!(read, content);
+    }
+
+    #[test]
+    fn allocation_respects_block_map_and_space() {
+        let (fs, mut map) = small_fs();
+        let total_dummy = map.dummy_blocks();
+        let allocated = fs.allocate_blocks(&mut map, 10).unwrap();
+        assert_eq!(allocated.len(), 10);
+        assert_eq!(map.dummy_blocks(), total_dummy - 10);
+        // All distinct and marked data.
+        let mut sorted = allocated.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        for b in allocated {
+            assert_eq!(map.class(b), BlockClass::Data);
+        }
+        // Requesting more than available fails.
+        let too_many = map.dummy_blocks() + 1;
+        assert!(matches!(
+            fs.allocate_blocks(&mut map, too_many),
+            Err(FsError::NoSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_returns_blocks_to_dummy_pool() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let before = map.dummy_blocks();
+        let file = fs.create_file(&mut map, "/f", &fak, &vec![5u8; 2000]).unwrap();
+        assert!(map.dummy_blocks() < before);
+        fs.delete_file(&mut map, file).unwrap();
+        assert_eq!(map.dummy_blocks(), before);
+        // The file can no longer be opened.
+        assert_eq!(fs.open_file(&fak, "/f").unwrap_err(), FsError::NoSuchFile);
+    }
+
+    #[test]
+    fn register_file_rebuilds_map_after_remount() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let content = vec![1u8; 1500];
+        let created = fs.create_file(&mut map, "/f", &fak, &content).unwrap();
+        let expected_data = map.data_blocks();
+
+        // Simulate an agent restart: a fresh, all-unknown map.
+        let mut fresh = BlockMap::new_unknown(fs.superblock().num_blocks);
+        assert_eq!(fresh.data_blocks(), 0);
+        let reopened = fs.open_file(&fak, "/f").unwrap();
+        fs.register_file(&mut fresh, &reopened);
+        assert_eq!(fresh.data_blocks(), expected_data);
+        assert_eq!(reopened.all_blocks().len(), created.all_blocks().len());
+    }
+
+    #[test]
+    fn two_files_do_not_collide() {
+        let (fs, mut map) = small_fs();
+        let alice = FileAccessKey::from_passphrase("alice");
+        let bob = FileAccessKey::from_passphrase("bob");
+        let a = fs.create_file(&mut map, "/a", &alice, &vec![1u8; 2000]).unwrap();
+        let b = fs.create_file(&mut map, "/b", &bob, &vec![2u8; 2000]).unwrap();
+        let mut all: Vec<u64> = a.all_blocks();
+        all.extend(b.all_blocks());
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "files must not share blocks");
+        assert_eq!(fs.read_file(&a).unwrap(), vec![1u8; 2000]);
+        assert_eq!(fs.read_file(&b).unwrap(), vec![2u8; 2000]);
+    }
+
+    #[test]
+    fn reseal_preserves_file_content() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let content = vec![0x77u8; 900];
+        let file = fs.create_file(&mut map, "/f", &fak, &content).unwrap();
+        for &b in &file.header.blocks {
+            fs.reseal_block(b, fak.content_key().unwrap()).unwrap();
+        }
+        fs.reseal_block(file.header_location, fak.header_key()).unwrap();
+        assert_eq!(fs.read_file(&file).unwrap(), content);
+        let reopened = fs.open_file(&fak, "/f").unwrap();
+        assert_eq!(fs.read_file(&reopened).unwrap(), content);
+    }
+
+    #[test]
+    fn quick_format_skips_fill() {
+        let dev = MemDevice::new(64, 512);
+        let (fs, _map) =
+            StegFs::format(dev, StegFsConfig::default().with_block_size(512).without_fill(), 3)
+                .unwrap();
+        let blk = fs.device().read_block_vec(10).unwrap();
+        assert!(blk.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_bounds_block_index() {
+        let (fs, mut map) = small_fs();
+        let fak = FileAccessKey::from_passphrase("k");
+        let mut file = fs.create_file(&mut map, "/f", &fak, b"tiny").unwrap();
+        assert!(matches!(
+            fs.read_content_block(&file, 5),
+            Err(FsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            fs.write_content_block(&mut file, 5, b"x"),
+            Err(FsError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks() {
+        // Use a small block size so indirect blocks kick in quickly.
+        let dev = MemDevice::new(2048, 512);
+        let (fs, mut map) =
+            StegFs::format(dev, StegFsConfig::default().with_block_size(512).without_fill(), 9)
+                .unwrap();
+        let fak = FileAccessKey::from_passphrase("big");
+        let per = fs.content_bytes_per_block();
+        let blocks_needed = fs.caps().direct as usize + 5;
+        let content: Vec<u8> = (0..per * blocks_needed).map(|i| (i % 256) as u8).collect();
+        let file = fs.create_file(&mut map, "/big", &fak, &content).unwrap();
+        assert!(!file.indirect_locations.is_empty());
+        let reopened = fs.open_file(&fak, "/big").unwrap();
+        assert_eq!(fs.read_file(&reopened).unwrap(), content);
+    }
+}

@@ -1,0 +1,428 @@
+//! Hidden file headers.
+//!
+//! A hidden file is "a set of data blocks that are organized in a tree
+//! structure, with the file header as the root node" (Section 4.1.2). The
+//! header records the file size and the ordered list of physical blocks that
+//! hold the content; large files spill pointers into indirect pointer blocks,
+//! giving the two-level tree of Figure 5.
+//!
+//! The header block is encrypted under the FAK's *header* key; content blocks
+//! under the *content* key. A dummy file has a real header (so it can be
+//! plausibly disclosed) but its "content" blocks contain only random bytes.
+
+use crate::error::FsError;
+
+/// Magic prefix of a decrypted header block.
+pub const HEADER_MAGIC: [u8; 8] = *b"SGHDR001";
+
+/// Fixed-size portion of the encoded header, before the pointer arrays.
+const PREFIX_LEN: usize = 8 + 1 + 1 + 2 + 8 + 8 + 16 + 4 + 4;
+
+/// Whether a file carries real content or is a decoy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// A real hidden file.
+    Data,
+    /// A dummy file: structurally identical, content blocks are random bytes.
+    Dummy,
+}
+
+impl FileKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FileKind::Data => 0,
+            FileKind::Dummy => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, FsError> {
+        match b {
+            0 => Ok(FileKind::Data),
+            1 => Ok(FileKind::Dummy),
+            other => Err(FsError::Corrupt(format!("unknown file kind {other}"))),
+        }
+    }
+}
+
+/// Pointer capacities implied by a given data-field length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderCaps {
+    /// Number of direct content pointers stored in the header block.
+    pub direct: usize,
+    /// Number of indirect pointer-block pointers stored in the header block.
+    pub indirect: usize,
+    /// Number of content pointers per indirect block.
+    pub ptrs_per_indirect: usize,
+}
+
+impl HeaderCaps {
+    /// Compute capacities for a data field of `data_field_len` bytes.
+    ///
+    /// Roughly three quarters of the pointer area is used for direct
+    /// pointers and one quarter for indirect pointers.
+    pub fn for_data_field(data_field_len: usize) -> Self {
+        assert!(
+            data_field_len > PREFIX_LEN + 16,
+            "data field too small for a header"
+        );
+        let ptr_area = data_field_len - PREFIX_LEN;
+        let total_ptrs = ptr_area / 8;
+        let direct = (total_ptrs * 3) / 4;
+        let indirect = total_ptrs - direct;
+        Self {
+            direct,
+            indirect,
+            ptrs_per_indirect: data_field_len / 8,
+        }
+    }
+
+    /// Maximum number of content blocks a file can have.
+    pub fn max_content_blocks(&self) -> u64 {
+        self.direct as u64 + self.indirect as u64 * self.ptrs_per_indirect as u64
+    }
+
+    /// Number of indirect blocks needed to store `content_blocks` pointers.
+    pub fn indirect_blocks_needed(&self, content_blocks: u64) -> u64 {
+        if content_blocks <= self.direct as u64 {
+            0
+        } else {
+            let spill = content_blocks - self.direct as u64;
+            spill.div_ceil(self.ptrs_per_indirect as u64)
+        }
+    }
+}
+
+/// In-memory representation of a hidden file's header: metadata plus the
+/// ordered physical locations of every content block.
+///
+/// The header is the structure the agent keeps "in the cache" while a file is
+/// open; block relocations (Figure 6) only touch this in-memory copy until the
+/// file is saved, which is why relocation adds no extra disk I/O
+/// (Section 4.1.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Whether the file is real or a dummy.
+    pub kind: FileKind,
+    /// Logical file size in bytes.
+    pub file_size: u64,
+    /// Tag binding the header to its path (HMAC of the path under the header
+    /// key, truncated); lets the agent distinguish "wrong file at a colliding
+    /// location" from "right file".
+    pub path_tag: [u8; 16],
+    /// Physical locations of the content blocks, in file order.
+    pub blocks: Vec<u64>,
+    /// Number of content blocks the on-disk header declares; equals
+    /// `blocks.len()` once all indirect payloads have been absorbed.
+    expected_total: u64,
+}
+
+impl FileHeader {
+    /// Create a header for a new file.
+    pub fn new(kind: FileKind, file_size: u64, path_tag: [u8; 16], blocks: Vec<u64>) -> Self {
+        let expected_total = blocks.len() as u64;
+        Self {
+            kind,
+            file_size,
+            path_tag,
+            blocks,
+            expected_total,
+        }
+    }
+
+    /// Number of content blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Encode the header into a header-block payload plus the payloads of the
+    /// indirect blocks. `indirect_locs` must contain exactly
+    /// `caps.indirect_blocks_needed(self.blocks.len())` physical locations,
+    /// already allocated by the caller.
+    pub fn encode(
+        &self,
+        caps: &HeaderCaps,
+        data_field_len: usize,
+        indirect_locs: &[u64],
+    ) -> Result<(Vec<u8>, Vec<Vec<u8>>), FsError> {
+        let needed = caps.indirect_blocks_needed(self.blocks.len() as u64);
+        if self.blocks.len() as u64 > caps.max_content_blocks() {
+            return Err(FsError::FileTooLarge {
+                size: self.file_size,
+                max: caps.max_content_blocks() * data_field_len as u64,
+            });
+        }
+        if indirect_locs.len() as u64 != needed {
+            return Err(FsError::Corrupt(format!(
+                "expected {needed} indirect blocks, got {}",
+                indirect_locs.len()
+            )));
+        }
+
+        let mut out = vec![0u8; data_field_len];
+        out[..8].copy_from_slice(&HEADER_MAGIC);
+        out[8] = self.kind.to_byte();
+        out[9] = 1; // version
+        // bytes 10..12 reserved
+        out[12..20].copy_from_slice(&self.file_size.to_le_bytes());
+        out[20..28].copy_from_slice(&(self.blocks.len() as u64).to_le_bytes());
+        out[28..44].copy_from_slice(&self.path_tag);
+        let direct_count = self.blocks.len().min(caps.direct);
+        out[44..48].copy_from_slice(&(direct_count as u32).to_le_bytes());
+        out[48..52].copy_from_slice(&(indirect_locs.len() as u32).to_le_bytes());
+
+        let mut offset = PREFIX_LEN;
+        for &b in &self.blocks[..direct_count] {
+            out[offset..offset + 8].copy_from_slice(&b.to_le_bytes());
+            offset += 8;
+        }
+        // Skip the unused direct slots.
+        offset = PREFIX_LEN + caps.direct * 8;
+        for &loc in indirect_locs {
+            out[offset..offset + 8].copy_from_slice(&loc.to_le_bytes());
+            offset += 8;
+        }
+
+        // Build indirect payloads.
+        let mut indirect_payloads = Vec::with_capacity(indirect_locs.len());
+        let spill = &self.blocks[direct_count..];
+        for chunk in spill.chunks(caps.ptrs_per_indirect) {
+            let mut payload = vec![0u8; data_field_len];
+            for (i, &b) in chunk.iter().enumerate() {
+                payload[i * 8..i * 8 + 8].copy_from_slice(&b.to_le_bytes());
+            }
+            indirect_payloads.push(payload);
+        }
+        debug_assert_eq!(indirect_payloads.len(), indirect_locs.len());
+
+        Ok((out, indirect_payloads))
+    }
+
+    /// Decode the header-block payload. Returns the partially decoded header
+    /// (direct pointers only) and the locations of the indirect blocks the
+    /// caller must read and pass to [`FileHeader::absorb_indirect`].
+    pub fn decode_prefix(
+        payload: &[u8],
+        caps: &HeaderCaps,
+    ) -> Result<(FileHeader, Vec<u64>), FsError> {
+        if payload.len() < PREFIX_LEN || payload[..8] != HEADER_MAGIC {
+            return Err(FsError::NoSuchFile);
+        }
+        let kind = FileKind::from_byte(payload[8])?;
+        let file_size = u64::from_le_bytes(payload[12..20].try_into().unwrap());
+        let total_blocks = u64::from_le_bytes(payload[20..28].try_into().unwrap());
+        let mut path_tag = [0u8; 16];
+        path_tag.copy_from_slice(&payload[28..44]);
+        let direct_count = u32::from_le_bytes(payload[44..48].try_into().unwrap()) as usize;
+        let indirect_count = u32::from_le_bytes(payload[48..52].try_into().unwrap()) as usize;
+
+        if direct_count > caps.direct || indirect_count > caps.indirect {
+            return Err(FsError::Corrupt(format!(
+                "pointer counts ({direct_count} direct, {indirect_count} indirect) exceed capacity"
+            )));
+        }
+        if total_blocks > caps.max_content_blocks() {
+            return Err(FsError::Corrupt(format!(
+                "block count {total_blocks} exceeds capacity"
+            )));
+        }
+
+        let mut blocks = Vec::with_capacity(total_blocks as usize);
+        let mut offset = PREFIX_LEN;
+        for _ in 0..direct_count {
+            blocks.push(u64::from_le_bytes(
+                payload[offset..offset + 8].try_into().unwrap(),
+            ));
+            offset += 8;
+        }
+        offset = PREFIX_LEN + caps.direct * 8;
+        let mut indirect_locs = Vec::with_capacity(indirect_count);
+        for _ in 0..indirect_count {
+            indirect_locs.push(u64::from_le_bytes(
+                payload[offset..offset + 8].try_into().unwrap(),
+            ));
+            offset += 8;
+        }
+
+        let header = FileHeader {
+            kind,
+            file_size,
+            path_tag,
+            blocks,
+            expected_total: total_blocks,
+        };
+        Ok((header, indirect_locs))
+    }
+
+    /// Absorb the pointers stored in one indirect block payload.
+    pub fn absorb_indirect(&mut self, payload: &[u8], caps: &HeaderCaps) {
+        for i in 0..caps.ptrs_per_indirect {
+            if self.blocks.len() as u64 >= self.expected_total {
+                break;
+            }
+            let start = i * 8;
+            let ptr = u64::from_le_bytes(payload[start..start + 8].try_into().unwrap());
+            self.blocks.push(ptr);
+        }
+    }
+
+    /// Total number of content blocks this header declares (may exceed
+    /// `blocks.len()` until all indirect payloads have been absorbed).
+    pub fn expected_total_blocks(&self) -> u64 {
+        self.expected_total
+    }
+
+    /// True once every declared pointer has been loaded.
+    pub fn is_complete(&self) -> bool {
+        self.blocks.len() as u64 == self.expected_total
+    }
+}
+
+impl FileHeader {
+    /// Compute the path tag for a given path under a header key.
+    pub fn path_tag_for(header_key: &stegfs_crypto::Key256, path: &str) -> [u8; 16] {
+        let mac = stegfs_crypto::HmacSha256::mac(header_key.as_bytes(), path.as_bytes());
+        let mut tag = [0u8; 16];
+        tag.copy_from_slice(&mac[..16]);
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> HeaderCaps {
+        HeaderCaps::for_data_field(4080)
+    }
+
+    #[test]
+    fn caps_are_sane_for_default_block_size() {
+        let c = caps();
+        assert!(c.direct > 300);
+        assert!(c.indirect > 90);
+        assert_eq!(c.ptrs_per_indirect, 510);
+        assert!(c.max_content_blocks() > 40_000);
+    }
+
+    #[test]
+    fn indirect_blocks_needed() {
+        let c = caps();
+        assert_eq!(c.indirect_blocks_needed(0), 0);
+        assert_eq!(c.indirect_blocks_needed(c.direct as u64), 0);
+        assert_eq!(c.indirect_blocks_needed(c.direct as u64 + 1), 1);
+        assert_eq!(
+            c.indirect_blocks_needed(c.direct as u64 + c.ptrs_per_indirect as u64),
+            1
+        );
+        assert_eq!(
+            c.indirect_blocks_needed(c.direct as u64 + c.ptrs_per_indirect as u64 + 1),
+            2
+        );
+    }
+
+    #[test]
+    fn small_file_roundtrip() {
+        let c = caps();
+        let header = FileHeader::new(FileKind::Data, 5000, [3u8; 16], vec![10, 20, 30]);
+        let (payload, indirect) = header.encode(&c, 4080, &[]).unwrap();
+        assert!(indirect.is_empty());
+        let (mut decoded, indirect_locs) = FileHeader::decode_prefix(&payload, &c).unwrap();
+        assert!(indirect_locs.is_empty());
+        assert!(decoded.is_complete());
+        assert_eq!(decoded.kind, FileKind::Data);
+        assert_eq!(decoded.file_size, 5000);
+        assert_eq!(decoded.path_tag, [3u8; 16]);
+        assert_eq!(decoded.blocks, vec![10, 20, 30]);
+        decoded.blocks.shrink_to_fit();
+    }
+
+    #[test]
+    fn large_file_roundtrip_with_indirect_blocks() {
+        let c = caps();
+        let n = c.direct as u64 + c.ptrs_per_indirect as u64 + 7;
+        let blocks: Vec<u64> = (100..100 + n).collect();
+        let header = FileHeader::new(FileKind::Data, n * 4080, [9u8; 16], blocks.clone());
+        let indirect_locs = vec![55, 66];
+        let (payload, indirect_payloads) = header.encode(&c, 4080, &indirect_locs).unwrap();
+        assert_eq!(indirect_payloads.len(), 2);
+
+        let (mut decoded, locs) = FileHeader::decode_prefix(&payload, &c).unwrap();
+        assert_eq!(locs, indirect_locs);
+        assert!(!decoded.is_complete());
+        for p in &indirect_payloads {
+            decoded.absorb_indirect(p, &c);
+        }
+        assert!(decoded.is_complete());
+        assert_eq!(decoded.blocks, blocks);
+    }
+
+    #[test]
+    fn dummy_kind_roundtrips() {
+        let c = caps();
+        let header = FileHeader::new(FileKind::Dummy, 0, [0u8; 16], vec![1, 2]);
+        let (payload, _) = header.encode(&c, 4080, &[]).unwrap();
+        let (decoded, _) = FileHeader::decode_prefix(&payload, &c).unwrap();
+        assert_eq!(decoded.kind, FileKind::Dummy);
+    }
+
+    #[test]
+    fn garbage_payload_is_no_such_file() {
+        let c = caps();
+        let garbage = vec![0xa5u8; 4080];
+        assert_eq!(
+            FileHeader::decode_prefix(&garbage, &c).unwrap_err(),
+            FsError::NoSuchFile
+        );
+    }
+
+    #[test]
+    fn mismatched_indirect_locs_rejected() {
+        let c = caps();
+        let header = FileHeader::new(FileKind::Data, 10, [0u8; 16], vec![1]);
+        assert!(header.encode(&c, 4080, &[99]).is_err());
+    }
+
+    #[test]
+    fn oversized_file_rejected() {
+        let c = caps();
+        let too_many = vec![0u64; c.max_content_blocks() as usize + 1];
+        let header = FileHeader::new(FileKind::Data, 1, [0u8; 16], too_many);
+        let locs = vec![0u64; c.indirect as usize];
+        assert!(matches!(
+            header.encode(&c, 4080, &locs),
+            Err(FsError::FileTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn path_tag_is_key_and_path_sensitive() {
+        let k1 = stegfs_crypto::Key256::from_passphrase("k1");
+        let k2 = stegfs_crypto::Key256::from_passphrase("k2");
+        assert_eq!(
+            FileHeader::path_tag_for(&k1, "/a"),
+            FileHeader::path_tag_for(&k1, "/a")
+        );
+        assert_ne!(
+            FileHeader::path_tag_for(&k1, "/a"),
+            FileHeader::path_tag_for(&k1, "/b")
+        );
+        assert_ne!(
+            FileHeader::path_tag_for(&k1, "/a"),
+            FileHeader::path_tag_for(&k2, "/a")
+        );
+    }
+
+    #[test]
+    fn small_data_field_caps_work() {
+        let c = HeaderCaps::for_data_field(496);
+        assert!(c.direct >= 10);
+        assert!(c.indirect >= 1);
+        let blocks: Vec<u64> = (0..(c.direct as u64 + 3)).collect();
+        let header = FileHeader::new(FileKind::Data, 100, [1u8; 16], blocks.clone());
+        let (payload, ind) = header.encode(&c, 496, &[77]).unwrap();
+        let (mut decoded, locs) = FileHeader::decode_prefix(&payload, &c).unwrap();
+        assert_eq!(locs, vec![77]);
+        decoded.absorb_indirect(&ind[0], &c);
+        assert_eq!(decoded.blocks, blocks);
+    }
+}

@@ -1,0 +1,19 @@
+//! # stegfs-workload
+//!
+//! Workload generators reproducing the paper's experimental set-up (Table 2):
+//! populations of 4–8 MB files on a 1 GB volume of 4 KB blocks, single-block
+//! and range updates, sequential and skewed read patterns, and a round-robin
+//! driver that interleaves several users' block-level operations on one
+//! shared (simulated) disk — the mechanism behind the concurrency curves of
+//! Figures 10(b) and 11(c).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod patterns;
+mod population;
+
+pub use driver::{RoundRobinDriver, TaskTiming};
+pub use patterns::{AccessPattern, ZipfDistribution};
+pub use population::{deterministic_content, FileSpec, PopulationConfig};

@@ -1,0 +1,99 @@
+//! Cross-crate integration test of the update-analysis defence (Section 4):
+//! the snapshot-diffing attacker must lose against the full StegHide
+//! mechanism and win against in-place updates.
+
+use stegfs_repro::analysis::UpdateAnalysisAttacker;
+use stegfs_repro::blockdev::Snapshot;
+use stegfs_repro::prelude::*;
+use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
+use stegfs_repro::stegfs::StegFsConfig;
+
+const BLOCK_SIZE: usize = 512;
+const VOLUME_BLOCKS: u64 = 4096;
+
+/// Run a hot-spot update workload and return the attacker's verdict.
+fn attacker_verdict(relocate: bool) -> (bool, f64) {
+    let cfg = if relocate {
+        AgentConfig::default()
+    } else {
+        AgentConfig::default().without_relocation()
+    };
+    let mut agent = NonVolatileAgent::format(
+        MemDevice::new(VOLUME_BLOCKS, BLOCK_SIZE),
+        StegFsConfig::default().with_block_size(BLOCK_SIZE),
+        cfg,
+        Key256::from_passphrase("agent"),
+        17,
+    )
+    .unwrap();
+    let per = agent.fs().content_bytes_per_block() as u64;
+    let hot = agent
+        .create_file_sparse(&Key256::from_passphrase("user"), "/hot", 64 * per)
+        .unwrap();
+    // Filler so the volume sits at ~25 % utilisation.
+    agent
+        .create_file_sparse(&Key256::from_passphrase("filler"), "/filler", 900 * per)
+        .unwrap();
+
+    let payload = vec![0xAAu8; per as usize];
+    let mut attacker = UpdateAnalysisAttacker::new(VOLUME_BLOCKS);
+    let mut before = Snapshot::capture(agent.fs().device()).unwrap();
+    for round in 0..30u64 {
+        // The user hammers a handful of logical blocks...
+        for i in 0..8u64 {
+            agent.update_block(hot, (round + i) % 8, &payload).unwrap();
+        }
+        // ...while the agent mixes in dummy updates.
+        agent.dummy_updates(8).unwrap();
+        let after = Snapshot::capture(agent.fs().device()).unwrap();
+        attacker.observe_diff(&before.diff(&after));
+        before = after;
+    }
+    let verdict = attacker.verdict(0.01);
+    (verdict.distinguishable, verdict.kl_divergence)
+}
+
+#[test]
+fn relocating_updates_defeat_the_snapshot_attacker() {
+    let (distinguishable, kl) = attacker_verdict(true);
+    assert!(
+        !distinguishable,
+        "attacker should not distinguish relocated updates (KL {kl:.3})"
+    );
+}
+
+#[test]
+fn in_place_updates_are_caught_by_the_snapshot_attacker() {
+    let (distinguishable, kl) = attacker_verdict(false);
+    assert!(
+        distinguishable,
+        "attacker should catch in-place updates (KL {kl:.3})"
+    );
+}
+
+#[test]
+fn dummy_updates_alone_change_ciphertext_but_not_data() {
+    let mut agent = NonVolatileAgent::format(
+        MemDevice::new(1024, BLOCK_SIZE),
+        StegFsConfig::default().with_block_size(BLOCK_SIZE),
+        AgentConfig::default(),
+        Key256::from_passphrase("dummy-update-agent"),
+        3,
+    )
+    .unwrap();
+    let content = vec![7u8; 3000];
+    let id = agent
+        .create_file(&Key256::from_passphrase("u"), "/f", &content)
+        .unwrap();
+
+    let before = Snapshot::capture(agent.fs().device()).unwrap();
+    agent.dummy_updates(64).unwrap();
+    let after = Snapshot::capture(agent.fs().device()).unwrap();
+    let diff = before.diff(&after);
+    assert!(
+        diff.num_changed() >= 32,
+        "dummy updates must visibly change blocks ({} changed)",
+        diff.num_changed()
+    );
+    assert_eq!(agent.read_file(id).unwrap(), content);
+}
