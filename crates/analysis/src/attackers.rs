@@ -205,7 +205,11 @@ mod tests {
             attacker.observe_changed_block(rng.gen_range(0..n));
         }
         let v = attacker.verdict(0.01);
-        assert!(!v.distinguishable, "chi {} vs crit {}", v.chi_square, v.critical_value);
+        assert!(
+            !v.distinguishable,
+            "chi {} vs crit {}",
+            v.chi_square, v.critical_value
+        );
     }
 
     #[test]
@@ -230,7 +234,9 @@ mod tests {
     #[test]
     fn observe_diff_accumulates() {
         let mut attacker = UpdateAnalysisAttacker::new(100);
-        attacker.observe_diff(&SnapshotDiff { changed: vec![1, 5, 9] });
+        attacker.observe_diff(&SnapshotDiff {
+            changed: vec![1, 5, 9],
+        });
         attacker.observe_diff(&SnapshotDiff { changed: vec![2] });
         assert_eq!(attacker.observations(), 4);
     }

@@ -39,7 +39,7 @@ fn normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -248,7 +248,10 @@ mod tests {
         let same = kl_divergence_between(&a, &b, universe, 40);
         let different = kl_divergence_between(&a, &c, universe, 40);
         assert!(same < 0.2, "similar distributions diverge by {same}");
-        assert!(different > 2.0, "different distributions diverge by {different}");
+        assert!(
+            different > 2.0,
+            "different distributions diverge by {different}"
+        );
         assert_eq!(kl_divergence_between(&[], &b, universe, 40), 0.0);
     }
 

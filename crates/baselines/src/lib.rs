@@ -186,7 +186,11 @@ impl<D: BlockDevice> NativeFs<D> {
         len.div_ceil(self.bytes_per_block() as u64).max(1)
     }
 
-    fn allocate(&self, state: &mut State, num_blocks: u64) -> Result<Vec<(BlockId, u64)>, NativeFsError> {
+    fn allocate(
+        &self,
+        state: &mut State,
+        num_blocks: u64,
+    ) -> Result<Vec<(BlockId, u64)>, NativeFsError> {
         let total = self.device.num_blocks();
         match self.policy {
             AllocationPolicy::Contiguous => {
@@ -308,7 +312,12 @@ impl<D: BlockDevice> NativeFs<D> {
 
     /// Read `count` consecutive content blocks starting at `start_index`,
     /// discarding the data (the benchmark only cares about the I/O pattern).
-    pub fn read_range(&self, name: &str, start_index: u64, count: u64) -> Result<(), NativeFsError> {
+    pub fn read_range(
+        &self,
+        name: &str,
+        start_index: u64,
+        count: u64,
+    ) -> Result<(), NativeFsError> {
         let file = self.stat(name)?;
         let bs = self.bytes_per_block();
         let mut buf = vec![0u8; bs];

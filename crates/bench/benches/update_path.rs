@@ -19,7 +19,9 @@ fn agent_at_utilisation(util: f64, relocate: bool) -> (NonVolatileAgent<MemDevic
     };
     let mut agent = NonVolatileAgent::format(
         MemDevice::new(volume_blocks, BLOCK_SIZE),
-        StegFsConfig::default().with_block_size(BLOCK_SIZE).without_fill(),
+        StegFsConfig::default()
+            .with_block_size(BLOCK_SIZE)
+            .without_fill(),
         cfg,
         Key256::from_passphrase("bench"),
         1,
@@ -30,9 +32,12 @@ fn agent_at_utilisation(util: f64, relocate: bool) -> (NonVolatileAgent<MemDevic
         .create_file_sparse(&Key256::from_passphrase("u"), "/f", 128 * per)
         .unwrap();
     let target = (util * (volume_blocks - 1) as f64) as u64;
+    // A single file cannot exceed the header's direct+indirect pointer
+    // capacity, so fillers are capped at max_content_blocks per file.
+    let max_chunk = agent.fs().caps().max_content_blocks();
     let mut filler = 0;
     while agent.block_map().data_blocks() < target {
-        let chunk = (target - agent.block_map().data_blocks()).min(1500);
+        let chunk = (target - agent.block_map().data_blocks()).min(max_chunk);
         agent
             .create_file_sparse(
                 &Key256::from_passphrase(&format!("filler{filler}")),
@@ -86,5 +91,10 @@ fn bench_dummy_update(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_figure6_update, bench_inplace_vs_relocating, bench_dummy_update);
+criterion_group!(
+    benches,
+    bench_figure6_update,
+    bench_inplace_vs_relocating,
+    bench_dummy_update
+);
 criterion_main!(benches);

@@ -28,7 +28,14 @@ fn main() {
 
     print_table(
         "Figure 10(a): access time (s) of retrieving a file, vs file size (MB), single user",
-        &["file size (MB)", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &[
+            "file size (MB)",
+            "StegHide",
+            "StegHide*",
+            "StegFS",
+            "FragDisk",
+            "CleanDisk",
+        ],
         &rows,
     );
 }

@@ -9,7 +9,7 @@
 
 use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
 use stegfs_bench::report::{fmt_secs, print_table};
-use stegfs_workload::RoundRobinDriver;
+use stegfs_workload::{RoundRobinDriver, UserTask};
 
 fn main() {
     let concurrency = [1usize, 2, 4, 8, 16, 32];
@@ -24,7 +24,7 @@ fn main() {
             let spec = BuildSpec::new(volume_blocks, vec![file_blocks; users], 100 + users as u64);
             let mut bed = TestBed::build(kind, &spec);
             let clock = bed.clock().clone();
-            let tasks: Vec<Box<dyn FnMut(&mut TestBed) -> bool>> = (0..users)
+            let tasks: Vec<UserTask<TestBed>> = (0..users)
                 .map(|u| {
                     let total = file_blocks;
                     let mut next = 0u64;
@@ -32,7 +32,7 @@ fn main() {
                         bed.read_block(u, next);
                         next += 1;
                         next == total
-                    }) as Box<dyn FnMut(&mut TestBed) -> bool>
+                    }) as UserTask<TestBed>
                 })
                 .collect();
             let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
@@ -43,7 +43,14 @@ fn main() {
 
     print_table(
         "Figure 10(b): mean access time (s) of retrieving a 4 MB file, vs concurrency",
-        &["concurrency", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &[
+            "concurrency",
+            "StegHide",
+            "StegHide*",
+            "StegFS",
+            "FragDisk",
+            "CleanDisk",
+        ],
         &rows,
     );
 }

@@ -18,8 +18,7 @@ fn main() {
     for &util in &utilisations {
         let mut row = vec![format!("{util:.1}")];
         for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 7)
-                .with_utilisation(util);
+            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 7).with_utilisation(util);
             let mut bed = TestBed::build(kind, &spec);
             let mut rng = HashDrbg::from_u64(999);
             let t0 = bed.clock().now_us();
@@ -35,7 +34,14 @@ fn main() {
 
     print_table(
         "Figure 11(a): access time (ms) of updating one random data block, vs space utilisation",
-        &["utilisation", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &[
+            "utilisation",
+            "StegHide",
+            "StegHide*",
+            "StegFS",
+            "FragDisk",
+            "CleanDisk",
+        ],
         &rows,
     );
 }

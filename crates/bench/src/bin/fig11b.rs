@@ -20,8 +20,7 @@ fn main() {
     for &range in &ranges {
         let mut row = vec![format!("{range}")];
         for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 21)
-                .with_utilisation(0.25);
+            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 21).with_utilisation(0.25);
             let mut bed = TestBed::build(kind, &spec);
             let mut rng = HashDrbg::from_u64(31);
             let t0 = bed.clock().now_us();
@@ -37,7 +36,14 @@ fn main() {
 
     print_table(
         "Figure 11(b): access time (ms) of updating N consecutive blocks (25% utilisation)",
-        &["consecutive blocks", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &[
+            "consecutive blocks",
+            "StegHide",
+            "StegHide*",
+            "StegFS",
+            "FragDisk",
+            "CleanDisk",
+        ],
         &rows,
     );
 }

@@ -9,7 +9,7 @@
 use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
 use stegfs_bench::report::{fmt_secs, print_table};
 use stegfs_crypto::HashDrbg;
-use stegfs_workload::RoundRobinDriver;
+use stegfs_workload::{RoundRobinDriver, UserTask};
 
 fn main() {
     let concurrency = [1usize, 2, 4, 8, 16, 32];
@@ -26,7 +26,7 @@ fn main() {
                 .with_utilisation(0.25);
             let mut bed = TestBed::build(kind, &spec);
             let clock = bed.clock().clone();
-            let tasks: Vec<Box<dyn FnMut(&mut TestBed) -> bool>> = (0..users)
+            let tasks: Vec<UserTask<TestBed>> = (0..users)
                 .map(|u| {
                     let mut remaining = updates_per_user;
                     let mut rng = HashDrbg::from_u64(1000 + u as u64);
@@ -35,14 +35,13 @@ fn main() {
                         bed.update_blocks(u, start, range);
                         remaining -= 1;
                         remaining == 0
-                    }) as Box<dyn FnMut(&mut TestBed) -> bool>
+                    }) as UserTask<TestBed>
                 })
                 .collect();
             let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
             // The paper reports per-operation access time; divide each user's
             // elapsed time by the number of its update operations.
-            let mean_op_us =
-                RoundRobinDriver::mean_elapsed_us(&timings) / updates_per_user as f64;
+            let mean_op_us = RoundRobinDriver::mean_elapsed_us(&timings) / updates_per_user as f64;
             row.push(fmt_secs(mean_op_us));
         }
         rows.push(row);
@@ -50,7 +49,14 @@ fn main() {
 
     print_table(
         "Figure 11(c): access time (s) of a 5-block update, vs concurrency (25% utilisation)",
-        &["concurrency", "StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk"],
+        &[
+            "concurrency",
+            "StegHide",
+            "StegHide*",
+            "StegFS",
+            "FragDisk",
+            "CleanDisk",
+        ],
         &rows,
     );
 }

@@ -20,8 +20,7 @@ fn main() {
         let analytic = 1.0 / (1.0 - util);
         let mut row = vec![format!("{util:.2}"), format!("{analytic:.2}")];
         for kind in [SystemKind::StegHide, SystemKind::StegHideStar] {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 77)
-                .with_utilisation(util);
+            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 77).with_utilisation(util);
             let mut bed = TestBed::build(kind, &spec);
             let mut rng = HashDrbg::from_u64(5);
             for _ in 0..updates {

@@ -49,7 +49,11 @@ fn update_analysis_scenario(relocate: bool) -> (f64, f64, bool, u64) {
         .create_file_sparse(&Key256::from_passphrase("hot"), "/hot", 256 * per_block)
         .expect("create hot file");
     agent
-        .create_file_sparse(&Key256::from_passphrase("filler"), "/filler", 1700 * per_block)
+        .create_file_sparse(
+            &Key256::from_passphrase("filler"),
+            "/filler",
+            1700 * per_block,
+        )
         .expect("create filler");
 
     let mut attacker = UpdateAnalysisAttacker::new(volume_blocks);
@@ -82,8 +86,8 @@ fn update_analysis_scenario(relocate: bool) -> (f64, f64, bool, u64) {
 fn direct_read_positions(skewed: bool) -> (Vec<u64>, u64) {
     let volume_blocks = 4096u64;
     let device = TracingDevice::new(MemDevice::new(volume_blocks, BLOCK_SIZE));
-    let (fs, mut map) = StegFs::format(device, StegFsConfig::default().without_fill(), 3)
-        .expect("format");
+    let (fs, mut map) =
+        StegFs::format(device, StegFsConfig::default().without_fill(), 3).expect("format");
     let fak = FileAccessKey::from_passphrase("reader");
     let per_block = fs.content_bytes_per_block() as u64;
     let file = fs
@@ -101,7 +105,13 @@ fn direct_read_positions(skewed: bool) -> (Vec<u64>, u64) {
         let b = pattern.next(&mut rng);
         fs.read_content_block(&file, b).expect("read");
     }
-    let positions: Vec<u64> = fs.device().log().records().iter().map(|r| r.block).collect();
+    let positions: Vec<u64> = fs
+        .device()
+        .log()
+        .records()
+        .iter()
+        .map(|r| r.block)
+        .collect();
     (positions, volume_blocks)
 }
 
@@ -218,7 +228,12 @@ fn main() {
                 direct_skewed.len().to_string(),
                 format!("{:.3}", direct_verdict.repetition_rate),
                 format!("{direct_kl:.3}"),
-                if direct_verdict.distinguishable { "YES" } else { "no" }.to_string(),
+                if direct_verdict.distinguishable {
+                    "YES"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ],
             vec![
                 "reads through the oblivious storage".to_string(),

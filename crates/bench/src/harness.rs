@@ -172,8 +172,9 @@ impl TestBed {
             SystemKind::StegHide => {
                 // Provision, then restart the agent and log a user in — the
                 // paper's Construction 2 deployment model.
-                let mut setup = VolatileAgent::format(device, fs_cfg, AgentConfig::default(), spec.seed)
-                    .expect("format StegHide volume");
+                let mut setup =
+                    VolatileAgent::format(device, fs_cfg, AgentConfig::default(), spec.seed)
+                        .expect("format StegHide volume");
                 let mut credentials: Vec<UserCredential> = Vec::new();
                 for (i, &blocks) in spec.file_blocks.iter().enumerate() {
                     let fak = FileAccessKey::from_passphrase(&format!("user-file-{i}"));
@@ -208,8 +209,8 @@ impl TestBed {
                 let mut dummy_idx = 0;
                 while dummy_pool > 0 {
                     let chunk = dummy_pool.min(1500);
-                    let fak =
-                        FileAccessKey::from_passphrase(&format!("dummy-{dummy_idx}")).without_content_key();
+                    let fak = FileAccessKey::from_passphrase(&format!("dummy-{dummy_idx}"))
+                        .without_content_key();
                     let path = format!("/bench/dummy{dummy_idx}");
                     setup
                         .provision_dummy_file_sparse(&path, &fak, chunk)
@@ -220,8 +221,9 @@ impl TestBed {
                 }
 
                 let device = setup.into_device();
-                let mut agent = VolatileAgent::mount(device, AgentConfig::default(), spec.seed ^ 0xabc)
-                    .expect("mount StegHide volume");
+                let mut agent =
+                    VolatileAgent::mount(device, AgentConfig::default(), spec.seed ^ 0xabc)
+                        .expect("mount StegHide volume");
                 let session = agent.login("bench-user", &credentials).expect("login");
                 let files = agent.session_files(session).expect("session files")
                     [..spec.file_blocks.len()]
@@ -233,7 +235,8 @@ impl TestBed {
                 }
             }
             SystemKind::StegFsBase => {
-                let (fs, mut map) = StegFs::format(device, fs_cfg, spec.seed).expect("format StegFS");
+                let (fs, mut map) =
+                    StegFs::format(device, fs_cfg, spec.seed).expect("format StegFS");
                 let mut files = Vec::new();
                 for (i, &blocks) in spec.file_blocks.iter().enumerate() {
                     let fak = FileAccessKey::from_passphrase(&format!("stegfs-file-{i}"));
@@ -324,7 +327,8 @@ impl TestBed {
                     .expect("read block");
             }
             Inner::Native { fs, names } => {
-                fs.read_range(&names[file_idx], block_idx, 1).expect("read block");
+                fs.read_range(&names[file_idx], block_idx, 1)
+                    .expect("read block");
             }
         }
     }
@@ -564,7 +568,11 @@ mod tests {
         // The N/B ratio (and therefore the height) matches the paper's
         // unscaled 1 GB / buffer-MB ratio.
         for (mb, blocks) in points {
-            assert_eq!(OBLIVIOUS_LAST_LEVEL_BLOCKS / blocks, 1024 / mb, "buffer {mb} MB");
+            assert_eq!(
+                OBLIVIOUS_LAST_LEVEL_BLOCKS / blocks,
+                1024 / mb,
+                "buffer {mb} MB"
+            );
         }
     }
 }

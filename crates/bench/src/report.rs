@@ -66,7 +66,10 @@ mod tests {
         print_table(
             "test",
             &["a", "b"],
-            &[vec!["1".to_string()], vec!["22".to_string(), "333".to_string()]],
+            &[
+                vec!["1".to_string()],
+                vec!["22".to_string(), "333".to_string()],
+            ],
         );
     }
 }

@@ -29,7 +29,10 @@ impl core::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             DeviceError::OutOfRange { block, num_blocks } => {
-                write!(f, "block {block} out of range (device has {num_blocks} blocks)")
+                write!(
+                    f,
+                    "block {block} out of range (device has {num_blocks} blocks)"
+                )
             }
             DeviceError::BadBufferSize { expected, got } => {
                 write!(f, "bad buffer size: expected {expected} bytes, got {got}")

@@ -86,8 +86,7 @@ impl DiskModel {
     /// Service time in microseconds for a request of `bytes` at `block`, given
     /// the current head position.
     pub fn service_time_us(&self, head: Option<BlockId>, block: BlockId, bytes: usize) -> u64 {
-        let transfer =
-            (bytes as u128 * 1_000_000u128 / self.transfer_bytes_per_sec as u128) as u64;
+        let transfer = (bytes as u128 * 1_000_000u128 / self.transfer_bytes_per_sec as u128) as u64;
         let positioning = match head {
             // Continuing exactly after the previous request: streaming read,
             // no positioning cost.
@@ -95,9 +94,7 @@ impl DiskModel {
             // Short forward skip within the near-seek window: track-to-track
             // seek plus settle.
             Some(h)
-                if self.near_seek_window > 0
-                    && block > h
-                    && block - h <= self.near_seek_window =>
+                if self.near_seek_window > 0 && block > h && block - h <= self.near_seek_window =>
             {
                 self.near_seek_us
             }

@@ -44,7 +44,10 @@ impl core::fmt::Display for AgentError {
             AgentError::NothingToUpdate => write!(f, "no blocks available for dummy updates"),
             AgentError::NoDummyBlocks => write!(f, "no dummy blocks available for relocation"),
             AgentError::PayloadTooLarge { got, max } => {
-                write!(f, "payload of {got} bytes exceeds block capacity of {max} bytes")
+                write!(
+                    f,
+                    "payload of {got} bytes exceeds block capacity of {max} bytes"
+                )
             }
         }
     }

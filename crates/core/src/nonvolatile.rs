@@ -71,7 +71,13 @@ impl<D: BlockDevice> NonVolatileAgent<D> {
             agent_key,
             Some(agent_key),
         );
-        let core = AgentCore::new(fs, block_map, agent_cfg, seed ^ 0x5deece66d, Some(agent_key));
+        let core = AgentCore::new(
+            fs,
+            block_map,
+            agent_cfg,
+            seed ^ 0x5deece66d,
+            Some(agent_key),
+        );
         Ok(Self {
             core,
             agent_key,
@@ -316,7 +322,9 @@ mod tests {
         let mut agent = new_agent(256);
         let user = Key256::from_passphrase("bob");
         let per = agent.fs().content_bytes_per_block();
-        let id = agent.create_file(&user, "/bob/f", &vec![9u8; per * 2]).unwrap();
+        let id = agent
+            .create_file(&user, "/bob/f", &vec![9u8; per * 2])
+            .unwrap();
         agent.close_file(id).unwrap();
         let map_bytes = agent.export_block_map();
         let data_blocks = agent.block_map().data_blocks();
@@ -396,7 +404,9 @@ mod tests {
         assert!(agent.utilisation() < 0.02);
         let user = Key256::from_passphrase("u");
         let per = agent.fs().content_bytes_per_block();
-        agent.create_file(&user, "/f", &vec![0u8; per * 100]).unwrap();
+        agent
+            .create_file(&user, "/f", &vec![0u8; per * 100])
+            .unwrap();
         assert!(agent.utilisation() > 0.15);
     }
 }

@@ -234,7 +234,11 @@ mod tests {
     use stegfs_base::{FileAccessKey, FileHeader, FileKind};
 
     fn open_file(path: &str, header_loc: u64, blocks: Vec<u64>, dummy: bool) -> OpenFile {
-        let kind = if dummy { FileKind::Dummy } else { FileKind::Data };
+        let kind = if dummy {
+            FileKind::Dummy
+        } else {
+            FileKind::Data
+        };
         OpenFile {
             path: path.to_string(),
             fak: FileAccessKey::from_passphrase(path),

@@ -200,10 +200,7 @@ impl<D: BlockDevice> AgentCore<D> {
             });
         }
         let (b1, content_key) = {
-            let file = self
-                .registry
-                .get(id)
-                .ok_or(AgentError::UnknownFile(id))?;
+            let file = self.registry.get(id).ok_or(AgentError::UnknownFile(id))?;
             let b1 = *file
                 .header
                 .blocks
@@ -345,10 +342,7 @@ mod tests {
 
     /// Build a construction-1-style core (global key) over a small volume
     /// with one registered file.
-    fn test_core(
-        num_blocks: u64,
-        cfg: AgentConfig,
-    ) -> (AgentCore<MemDevice>, FileId, Vec<u8>) {
+    fn test_core(num_blocks: u64, cfg: AgentConfig) -> (AgentCore<MemDevice>, FileId, Vec<u8>) {
         let dev = MemDevice::new(num_blocks, 512);
         let (fs, map) =
             StegFs::format(dev, StegFsConfig::default().with_block_size(512), 11).unwrap();
@@ -425,7 +419,8 @@ mod tests {
         let (mut core, id, _) = test_core(256, AgentConfig::default());
         let per = core.fs.content_bytes_per_block();
         for i in 0..20u64 {
-            core.update_content_block(id, 0, &vec![i as u8; per]).unwrap();
+            core.update_content_block(id, 0, &vec![i as u8; per])
+                .unwrap();
         }
         let s = core.stats;
         assert_eq!(s.data_updates, 20);
@@ -439,8 +434,7 @@ mod tests {
 
     #[test]
     fn ablation_mode_never_relocates() {
-        let (mut core, id, _) =
-            test_core(256, AgentConfig::default().without_relocation());
+        let (mut core, id, _) = test_core(256, AgentConfig::default().without_relocation());
         let per = core.fs.content_bytes_per_block();
         let before = core.registry.get(id).unwrap().header.blocks.clone();
         for i in 0..10u64 {

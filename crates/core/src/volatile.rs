@@ -260,7 +260,8 @@ impl<D: BlockDevice> VolatileAgent<D> {
                     if let Some(dummy) = self.core.registry.get_mut(owner) {
                         dummy.header.blocks.retain(|&b| b != block);
                         let remaining = dummy.header.blocks.len() as u64;
-                        dummy.header.file_size = remaining * self.core.fs.content_bytes_per_block() as u64;
+                        dummy.header.file_size =
+                            remaining * self.core.fs.content_bytes_per_block() as u64;
                         dummy.dirty = true;
                     }
                     // Rebuild the reverse index for the shrunk dummy file.
@@ -419,7 +420,12 @@ mod tests {
 
     /// Provision a volume with one user owning a data file and a dummy file,
     /// then restart the agent so it has zero knowledge.
-    fn provisioned_agent() -> (VolatileAgent<MemDevice>, FileAccessKey, FileAccessKey, Vec<u8>) {
+    fn provisioned_agent() -> (
+        VolatileAgent<MemDevice>,
+        FileAccessKey,
+        FileAccessKey,
+        Vec<u8>,
+    ) {
         let fs_cfg = StegFsConfig::default().with_block_size(512);
         let mut setup = VolatileAgent::format(
             MemDevice::new(1024, 512),
@@ -432,7 +438,9 @@ mod tests {
         let dummy_fak = FileAccessKey::from_passphrase("alice-dummy").without_content_key();
         let per = setup.fs().content_bytes_per_block();
         let content = (0..per * 6).map(|i| (i % 251) as u8).collect::<Vec<u8>>();
-        setup.provision_file("/alice/data", &data_fak, &content).unwrap();
+        setup
+            .provision_file("/alice/data", &data_fak, &content)
+            .unwrap();
         setup
             .provision_dummy_file("/alice/dummy", &dummy_fak, 8)
             .unwrap();
@@ -442,7 +450,10 @@ mod tests {
         (agent, data_fak, dummy_fak, content)
     }
 
-    fn alice_credentials(data_fak: &FileAccessKey, dummy_fak: &FileAccessKey) -> Vec<UserCredential> {
+    fn alice_credentials(
+        data_fak: &FileAccessKey,
+        dummy_fak: &FileAccessKey,
+    ) -> Vec<UserCredential> {
         vec![
             UserCredential::new("/alice/data", data_fak.clone()),
             UserCredential::new("/alice/dummy", dummy_fak.clone()),
@@ -455,7 +466,10 @@ mod tests {
         assert_eq!(agent.block_map().data_blocks(), 0);
         assert_eq!(agent.logged_in_users().len(), 0);
         // With nobody logged in there is nothing to dummy-update.
-        assert!(matches!(agent.tick_idle(), Err(AgentError::NothingToUpdate)));
+        assert!(matches!(
+            agent.tick_idle(),
+            Err(AgentError::NothingToUpdate)
+        ));
     }
 
     #[test]
@@ -488,7 +502,10 @@ mod tests {
         let mut relocations = 0;
         for i in 0..12u64 {
             let payload = vec![i as u8 + 1; per];
-            match agent.update_block(session, data_id, i % 6, &payload).unwrap() {
+            match agent
+                .update_block(session, data_id, i % 6, &payload)
+                .unwrap()
+            {
                 UpdateOutcome::Relocated { .. } => relocations += 1,
                 UpdateOutcome::InPlace { .. } => {}
             }
@@ -511,7 +528,11 @@ mod tests {
         let expected: Vec<u8> = vec![0xC3; per];
         agent.update_block(session, files[0], 2, &expected).unwrap();
         agent.logout(session).unwrap();
-        assert_eq!(agent.block_map().data_blocks(), 0, "view forgotten at logout");
+        assert_eq!(
+            agent.block_map().data_blocks(),
+            0,
+            "view forgotten at logout"
+        );
 
         let session2 = agent
             .login("alice", &alice_credentials(&data_fak, &dummy_fak))
@@ -578,13 +599,19 @@ mod tests {
             .unwrap();
         let files = agent.session_files(session2).unwrap();
         let dummy_blocks = agent.num_blocks(session2, files[0]).unwrap();
-        assert!(dummy_blocks < 8, "dummy file should have shrunk, has {dummy_blocks}");
+        assert!(
+            dummy_blocks < 8,
+            "dummy file should have shrunk, has {dummy_blocks}"
+        );
         assert_eq!(agent.read_file(session2, files[1]).unwrap(), content);
     }
 
     #[test]
     fn logout_unknown_session_errors() {
         let (mut agent, _, _, _) = provisioned_agent();
-        assert!(matches!(agent.logout(99), Err(AgentError::UnknownSession(99))));
+        assert!(matches!(
+            agent.logout(99),
+            Err(AgentError::UnknownSession(99))
+        ));
     }
 }

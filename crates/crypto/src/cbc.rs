@@ -54,7 +54,11 @@ impl<C: BlockCipher> CbcCipher<C> {
 
     /// Encrypt `data` in place under `iv`. `data.len()` must be a multiple of
     /// 16 bytes.
-    pub fn encrypt_in_place(&self, iv: &[u8; AES_BLOCK_SIZE], data: &mut [u8]) -> Result<(), CbcError> {
+    pub fn encrypt_in_place(
+        &self,
+        iv: &[u8; AES_BLOCK_SIZE],
+        data: &mut [u8],
+    ) -> Result<(), CbcError> {
         if data.len() % AES_BLOCK_SIZE != 0 {
             return Err(CbcError::NotBlockAligned { len: data.len() });
         }
@@ -73,7 +77,11 @@ impl<C: BlockCipher> CbcCipher<C> {
     }
 
     /// Decrypt `data` in place under `iv`.
-    pub fn decrypt_in_place(&self, iv: &[u8; AES_BLOCK_SIZE], data: &mut [u8]) -> Result<(), CbcError> {
+    pub fn decrypt_in_place(
+        &self,
+        iv: &[u8; AES_BLOCK_SIZE],
+        data: &mut [u8],
+    ) -> Result<(), CbcError> {
         if data.len() % AES_BLOCK_SIZE != 0 {
             return Err(CbcError::NotBlockAligned { len: data.len() });
         }

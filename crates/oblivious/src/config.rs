@@ -47,7 +47,9 @@ impl ObliviousConfig {
 
     /// Total number of item slots across all levels.
     pub fn total_slots(&self) -> u64 {
-        (1..=self.num_levels()).map(|i| self.level_capacity(i)).sum()
+        (1..=self.num_levels())
+            .map(|i| self.level_capacity(i))
+            .sum()
     }
 
     /// The paper's analytical per-read retrieving cost: one index probe and
@@ -102,10 +104,19 @@ mod tests {
     #[test]
     fn table4_overhead_factors_match_paper() {
         // The paper reports overhead = 10 * height (70, 60, 50, 40, 30).
-        for (mb, expected) in [(8u64, 70.0), (16, 60.0), (32, 50.0), (64, 40.0), (128, 30.0)] {
+        for (mb, expected) in [
+            (8u64, 70.0),
+            (16, 60.0),
+            (32, 50.0),
+            (64, 40.0),
+            (128, 30.0),
+        ] {
             let got = table4_config(mb).overhead_factor();
             let err = (got - expected).abs() / expected;
-            assert!(err < 0.12, "buffer {mb} MB: got {got}, expected ~{expected}");
+            assert!(
+                err < 0.12,
+                "buffer {mb} MB: got {got}, expected ~{expected}"
+            );
         }
     }
 

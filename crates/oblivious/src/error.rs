@@ -61,7 +61,9 @@ impl core::fmt::Display for ObliviousError {
             ObliviousError::ItemTooLarge { got, max } => {
                 write!(f, "item of {got} bytes exceeds capacity of {max} bytes")
             }
-            ObliviousError::NotCached { id } => write!(f, "block {id} is not in the oblivious store"),
+            ObliviousError::NotCached { id } => {
+                write!(f, "block {id} is not in the oblivious store")
+            }
             ObliviousError::CapacityExhausted => write!(f, "oblivious store capacity exhausted"),
             ObliviousError::Corrupt(msg) => write!(f, "corrupt oblivious storage structure: {msg}"),
         }
@@ -82,7 +84,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ObliviousError::NotCached { id: 9 }.to_string().contains('9'));
+        assert!(ObliviousError::NotCached { id: 9 }
+            .to_string()
+            .contains('9'));
         assert!(ObliviousError::DeviceTooSmall {
             required: 10,
             available: 5

@@ -296,11 +296,14 @@ mod tests {
     fn oversized_payload_rejected() {
         let device = MemDevice::new(64, 64);
         let sorter = ExternalSorter::new(device, 2);
-        let too_big = vec![SortRecord {
-            key: 0,
-            id: 0,
-            payload: vec![0u8; 100],
-        }; 5];
+        let too_big = vec![
+            SortRecord {
+                key: 0,
+                id: 0,
+                payload: vec![0u8; 100],
+            };
+            5
+        ];
         assert!(matches!(
             sorter.sort(too_big, |_| Ok(())),
             Err(ObliviousError::ItemTooLarge { .. })
@@ -323,10 +326,26 @@ mod tests {
         let device = MemDevice::new(64, 256);
         let sorter = ExternalSorter::new(device, 3);
         let input = vec![
-            SortRecord { key: 5, id: 2, payload: vec![] },
-            SortRecord { key: 5, id: 1, payload: vec![] },
-            SortRecord { key: 5, id: 3, payload: vec![] },
-            SortRecord { key: 1, id: 9, payload: vec![] },
+            SortRecord {
+                key: 5,
+                id: 2,
+                payload: vec![],
+            },
+            SortRecord {
+                key: 5,
+                id: 1,
+                payload: vec![],
+            },
+            SortRecord {
+                key: 5,
+                id: 3,
+                payload: vec![],
+            },
+            SortRecord {
+                key: 1,
+                id: 9,
+                payload: vec![],
+            },
         ];
         let mut out = Vec::new();
         sorter

@@ -224,7 +224,11 @@ mod tests {
             // A decoy must target a block that had already been fetched at
             // some earlier point; since only `wanted` blocks ever get
             // fetched, every traced block must be in `wanted`.
-            assert!(wanted.contains(&record.block), "unexpected read of {}", record.block);
+            assert!(
+                wanted.contains(&record.block),
+                "unexpected read of {}",
+                record.block
+            );
             seen.insert(record.block);
         }
         assert_eq!(seen, wanted);

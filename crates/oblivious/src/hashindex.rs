@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn rebuild_replaces_old_contents() {
         let (device, region) = region(50, 512);
-        region.build(&device, 1, (0..50u64).map(|i| (i, i))).unwrap();
+        region
+            .build(&device, 1, (0..50u64).map(|i| (i, i)))
+            .unwrap();
         region
             .build(&device, 2, (100..120u64).map(|i| (i, i * 2)))
             .unwrap();

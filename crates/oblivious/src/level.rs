@@ -50,6 +50,10 @@ pub(crate) struct MaintenanceIo {
     pub writes: u64,
 }
 
+/// Result of draining a level: `(id, plaintext payload)` pairs plus the I/O
+/// spent reading them.
+pub(crate) type CollectedItems = (Vec<(u64, Vec<u8>)>, MaintenanceIo);
+
 impl MaintenanceIo {
     pub fn total(&self) -> u64 {
         self.reads + self.writes
@@ -189,7 +193,7 @@ impl Level {
         &self,
         device: &D,
         codec: &BlockCodec,
-    ) -> Result<(Vec<(u64, Vec<u8>)>, MaintenanceIo), ObliviousError> {
+    ) -> Result<CollectedItems, ObliviousError> {
         let mut io = MaintenanceIo::default();
         let mut items = Vec::with_capacity(self.manifest.len());
         for slot in 0..self.manifest.len() as u64 {
@@ -304,7 +308,9 @@ mod tests {
     }
 
     fn items(n: u64) -> Vec<(u64, Vec<u8>)> {
-        (0..n).map(|i| (i + 100, vec![(i % 256) as u8; 64])).collect()
+        (0..n)
+            .map(|i| (i + 100, vec![(i % 256) as u8; 64]))
+            .collect()
     }
 
     #[test]

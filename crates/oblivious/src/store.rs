@@ -96,7 +96,8 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
         let mut levels = Vec::with_capacity(cfg.num_levels() as usize);
         let mut offset = 0;
         for i in 1..=cfg.num_levels() {
-            let (level, next) = Level::layout(i, offset, cfg.level_capacity(i), block_size, &master_key);
+            let (level, next) =
+                Level::layout(i, offset, cfg.level_capacity(i), block_size, &master_key);
             levels.push(level);
             offset = next;
         }
@@ -344,7 +345,8 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
             io = Self::merge_io(io, self.dump(li + 1)?);
         }
 
-        let (lower_items, lower_io) = self.levels[li + 1].collect_items(&self.device, &self.codec)?;
+        let (lower_items, lower_io) =
+            self.levels[li + 1].collect_items(&self.device, &self.codec)?;
         io = Self::merge_io(io, lower_io);
         let (upper_items, upper_io) = self.levels[li].collect_items(&self.device, &self.codec)?;
         io = Self::merge_io(io, upper_io);

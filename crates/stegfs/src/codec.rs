@@ -50,7 +50,12 @@ impl BlockCodec {
     /// Seal `plaintext` (at most `data_field_len` bytes; shorter inputs are
     /// zero-padded) into a full physical block under `key`, using a fresh IV
     /// drawn from `rng`.
-    pub fn seal(&self, key: &Key256, plaintext: &[u8], rng: &mut HashDrbg) -> Result<Vec<u8>, FsError> {
+    pub fn seal(
+        &self,
+        key: &Key256,
+        plaintext: &[u8],
+        rng: &mut HashDrbg,
+    ) -> Result<Vec<u8>, FsError> {
         if plaintext.len() > self.data_field_len() {
             return Err(FsError::Cipher(format!(
                 "plaintext of {} bytes exceeds data field of {} bytes",
@@ -223,7 +228,10 @@ mod tests {
             counts[b as usize] += 1;
         }
         let max = *counts.iter().max().unwrap();
-        assert!(max < 50, "suspiciously repetitive ciphertext (max count {max})");
+        assert!(
+            max < 50,
+            "suspiciously repetitive ciphertext (max count {max})"
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
         dir.insert(entry("x", EntryKind::File, "a"));
         dir.insert(entry("x", EntryKind::File, "b"));
         assert_eq!(dir.len(), 1);
-        assert_eq!(dir.lookup("x").unwrap().master, Key256::from_passphrase("b"));
+        assert_eq!(
+            dir.lookup("x").unwrap().master,
+            Key256::from_passphrase("b")
+        );
     }
 
     #[test]

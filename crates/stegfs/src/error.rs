@@ -70,7 +70,10 @@ impl core::fmt::Display for FsError {
                 write!(f, "file of {size} bytes exceeds the maximum of {max} bytes")
             }
             FsError::OutOfBounds { index, len } => {
-                write!(f, "block index {index} out of bounds for a {len}-block file")
+                write!(
+                    f,
+                    "block index {index} out of bounds for a {len}-block file"
+                )
             }
             FsError::Corrupt(msg) => write!(f, "corrupt on-disk structure: {msg}"),
             FsError::NoContentKey => write!(f, "operation requires a content key"),

@@ -106,7 +106,13 @@ impl FileAccessKey {
     /// payload_blocks`, mapped into `1..num_blocks` (block 0 is the
     /// superblock). Without the FAK the sequence is unpredictable; with it,
     /// the agent can find the header directly — Section 4.1.2.
-    pub fn header_location(&self, salt: &[u8; 16], path: &str, probe: u32, payload_blocks: u64) -> u64 {
+    pub fn header_location(
+        &self,
+        salt: &[u8; 16],
+        path: &str,
+        probe: u32,
+        payload_blocks: u64,
+    ) -> u64 {
         let mut msg = Vec::with_capacity(16 + path.len() + 4);
         msg.extend_from_slice(salt);
         msg.extend_from_slice(path.as_bytes());

@@ -94,7 +94,8 @@ impl OpenFile {
     /// All physical blocks belonging to this file (header, indirect and
     /// content blocks).
     pub fn all_blocks(&self) -> Vec<BlockId> {
-        let mut v = Vec::with_capacity(1 + self.indirect_locations.len() + self.header.blocks.len());
+        let mut v =
+            Vec::with_capacity(1 + self.indirect_locations.len() + self.header.blocks.len());
         v.push(self.header_location);
         v.extend_from_slice(&self.indirect_locations);
         v.extend_from_slice(&self.header.blocks);
@@ -169,7 +170,11 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// Mount an already formatted volume.
     pub fn mount(device: D) -> Result<Self, FsError> {
-        Self::mount_with(device, StegFsConfig::default().header_probe_limit, 0xfeed_beef)
+        Self::mount_with(
+            device,
+            StegFsConfig::default().header_probe_limit,
+            0xfeed_beef,
+        )
     }
 
     /// Mount with an explicit probe limit and RNG seed.
@@ -690,7 +695,8 @@ mod tests {
     #[test]
     fn format_and_mount_roundtrip() {
         let dev = MemDevice::new(64, 512);
-        let (fs, map) = StegFs::format(dev, StegFsConfig::default().with_block_size(512), 1).unwrap();
+        let (fs, map) =
+            StegFs::format(dev, StegFsConfig::default().with_block_size(512), 1).unwrap();
         assert_eq!(map.num_blocks(), 64);
         assert_eq!(fs.superblock().num_blocks, 64);
         let dev2 = fs.device();
@@ -710,7 +716,9 @@ mod tests {
         let (fs, mut map) = small_fs();
         let fak = FileAccessKey::from_passphrase("alice");
         let content: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
-        let file = fs.create_file(&mut map, "/secret/report", &fak, &content).unwrap();
+        let file = fs
+            .create_file(&mut map, "/secret/report", &fak, &content)
+            .unwrap();
         assert_eq!(fs.read_file(&file).unwrap(), content);
 
         // Re-open from scratch.
@@ -726,8 +734,14 @@ mod tests {
         fs.create_file(&mut map, "/secret", &fak, b"data").unwrap();
 
         let wrong_key = FileAccessKey::from_passphrase("mallory");
-        assert_eq!(fs.open_file(&wrong_key, "/secret").unwrap_err(), FsError::NoSuchFile);
-        assert_eq!(fs.open_file(&fak, "/other").unwrap_err(), FsError::NoSuchFile);
+        assert_eq!(
+            fs.open_file(&wrong_key, "/secret").unwrap_err(),
+            FsError::NoSuchFile
+        );
+        assert_eq!(
+            fs.open_file(&fak, "/other").unwrap_err(),
+            FsError::NoSuchFile
+        );
     }
 
     #[test]
@@ -822,7 +836,9 @@ mod tests {
         let (fs, mut map) = small_fs();
         let fak = FileAccessKey::from_passphrase("k");
         let before = map.dummy_blocks();
-        let file = fs.create_file(&mut map, "/f", &fak, &vec![5u8; 2000]).unwrap();
+        let file = fs
+            .create_file(&mut map, "/f", &fak, &vec![5u8; 2000])
+            .unwrap();
         assert!(map.dummy_blocks() < before);
         fs.delete_file(&mut map, file).unwrap();
         assert_eq!(map.dummy_blocks(), before);
@@ -852,8 +868,12 @@ mod tests {
         let (fs, mut map) = small_fs();
         let alice = FileAccessKey::from_passphrase("alice");
         let bob = FileAccessKey::from_passphrase("bob");
-        let a = fs.create_file(&mut map, "/a", &alice, &vec![1u8; 2000]).unwrap();
-        let b = fs.create_file(&mut map, "/b", &bob, &vec![2u8; 2000]).unwrap();
+        let a = fs
+            .create_file(&mut map, "/a", &alice, &vec![1u8; 2000])
+            .unwrap();
+        let b = fs
+            .create_file(&mut map, "/b", &bob, &vec![2u8; 2000])
+            .unwrap();
         let mut all: Vec<u64> = a.all_blocks();
         all.extend(b.all_blocks());
         let len = all.len();
@@ -873,7 +893,8 @@ mod tests {
         for &b in &file.header.blocks {
             fs.reseal_block(b, fak.content_key().unwrap()).unwrap();
         }
-        fs.reseal_block(file.header_location, fak.header_key()).unwrap();
+        fs.reseal_block(file.header_location, fak.header_key())
+            .unwrap();
         assert_eq!(fs.read_file(&file).unwrap(), content);
         let reopened = fs.open_file(&fak, "/f").unwrap();
         assert_eq!(fs.read_file(&reopened).unwrap(), content);
@@ -882,9 +903,12 @@ mod tests {
     #[test]
     fn quick_format_skips_fill() {
         let dev = MemDevice::new(64, 512);
-        let (fs, _map) =
-            StegFs::format(dev, StegFsConfig::default().with_block_size(512).without_fill(), 3)
-                .unwrap();
+        let (fs, _map) = StegFs::format(
+            dev,
+            StegFsConfig::default().with_block_size(512).without_fill(),
+            3,
+        )
+        .unwrap();
         let blk = fs.device().read_block_vec(10).unwrap();
         assert!(blk.iter().all(|&b| b == 0));
     }
@@ -908,12 +932,15 @@ mod tests {
     fn large_file_uses_indirect_blocks() {
         // Use a small block size so indirect blocks kick in quickly.
         let dev = MemDevice::new(2048, 512);
-        let (fs, mut map) =
-            StegFs::format(dev, StegFsConfig::default().with_block_size(512).without_fill(), 9)
-                .unwrap();
+        let (fs, mut map) = StegFs::format(
+            dev,
+            StegFsConfig::default().with_block_size(512).without_fill(),
+            9,
+        )
+        .unwrap();
         let fak = FileAccessKey::from_passphrase("big");
         let per = fs.content_bytes_per_block();
-        let blocks_needed = fs.caps().direct as usize + 5;
+        let blocks_needed = fs.caps().direct + 5;
         let content: Vec<u8> = (0..per * blocks_needed).map(|i| (i % 256) as u8).collect();
         let file = fs.create_file(&mut map, "/big", &fak, &content).unwrap();
         assert!(!file.indirect_locations.is_empty());

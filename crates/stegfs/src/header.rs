@@ -162,7 +162,7 @@ impl FileHeader {
         out[..8].copy_from_slice(&HEADER_MAGIC);
         out[8] = self.kind.to_byte();
         out[9] = 1; // version
-        // bytes 10..12 reserved
+                    // bytes 10..12 reserved
         out[12..20].copy_from_slice(&self.file_size.to_le_bytes());
         out[20..28].copy_from_slice(&(self.blocks.len() as u64).to_le_bytes());
         out[28..44].copy_from_slice(&self.path_tag);
@@ -387,7 +387,7 @@ mod tests {
         let c = caps();
         let too_many = vec![0u64; c.max_content_blocks() as usize + 1];
         let header = FileHeader::new(FileKind::Data, 1, [0u8; 16], too_many);
-        let locs = vec![0u64; c.indirect as usize];
+        let locs = vec![0u64; c.indirect];
         assert!(matches!(
             header.encode(&c, 4080, &locs),
             Err(FsError::FileTooLarge { .. })

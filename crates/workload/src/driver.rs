@@ -28,6 +28,9 @@ impl TaskTiming {
     }
 }
 
+/// A boxed user task: one block-granular step per call, `true` on completion.
+pub type UserTask<S> = Box<dyn FnMut(&mut S) -> bool>;
+
 /// Deterministic round-robin scheduler for block-granular user tasks sharing
 /// one system under test.
 pub struct RoundRobinDriver;
@@ -108,17 +111,17 @@ mod tests {
         // `now` cannot borrow `system` while the closure also borrows it, so
         // emulate via a raw pointer-free trick: track time inside the system
         // and read it through a shared cell.
-        let clock_snapshot = std::cell::Cell::new(0u64);
+        let clock_snapshot = std::rc::Rc::new(std::cell::Cell::new(0u64));
         let timings = {
-            let tasks: Vec<Box<dyn FnMut(&mut FakeSystem) -> bool>> = tasks
+            let tasks: Vec<UserTask<FakeSystem>> = tasks
                 .into_iter()
                 .map(|mut t| {
-                    let clock_snapshot = &clock_snapshot;
+                    let clock_snapshot = clock_snapshot.clone();
                     Box::new(move |s: &mut FakeSystem| {
                         let done = t(s);
                         clock_snapshot.set(s.clock);
                         done
-                    }) as Box<dyn FnMut(&mut FakeSystem) -> bool>
+                    }) as UserTask<FakeSystem>
                 })
                 .collect();
             RoundRobinDriver::run(&mut system, tasks, || clock_snapshot.get())

@@ -23,7 +23,9 @@ impl ZipfDistribution {
             acc += *w / total;
             *w = acc;
         }
-        Self { cumulative: weights }
+        Self {
+            cumulative: weights,
+        }
     }
 
     /// Number of items.

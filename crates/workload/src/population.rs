@@ -100,7 +100,11 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), cfg.num_files);
         for f in &a {
-            assert!(f.size >= cfg.min_size && f.size <= cfg.max_size, "{}", f.size);
+            assert!(
+                f.size >= cfg.min_size && f.size <= cfg.max_size,
+                "{}",
+                f.size
+            );
         }
         // Paths are unique.
         let mut paths: Vec<_> = a.iter().map(|f| f.path.clone()).collect();

@@ -14,8 +14,8 @@
 use stegfs_repro::analysis::UpdateAnalysisAttacker;
 use stegfs_repro::blockdev::Snapshot;
 use stegfs_repro::prelude::*;
-use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
 use stegfs_repro::stegfs::StegFsConfig;
+use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
 
 /// One employee row of the toy salary table.
 fn salary_row(name: &str, salary: u64) -> Vec<u8> {
@@ -44,7 +44,9 @@ fn run_scenario(relocate: bool) -> (bool, f64, usize) {
     for i in 0..4000 {
         table.extend_from_slice(&salary_row(&format!("employee-{i:05}"), 200_000));
     }
-    let file = agent.create_file(&dba, "/db/sal_table", &table).expect("create table");
+    let file = agent
+        .create_file(&dba, "/db/sal_table", &table)
+        .expect("create table");
     let per_block = agent.fs().content_bytes_per_block();
     let rows_per_block = per_block / 38;
 
@@ -71,7 +73,11 @@ fn run_scenario(relocate: bool) -> (bool, f64, usize) {
     }
 
     let verdict = attacker.verdict(0.01);
-    (verdict.distinguishable, verdict.kl_divergence, verdict.observations)
+    (
+        verdict.distinguishable,
+        verdict.kl_divergence,
+        verdict.observations,
+    )
 }
 
 fn main() {
@@ -84,14 +90,26 @@ fn main() {
     println!("StegHide* (dummy updates + Figure 6 relocation):");
     println!("  changed blocks observed: {obs_p}");
     println!("  KL divergence from uniform: {kl_protected:.3} bits");
-    println!("  attacker identifies real updates: {}", if wins_protected { "YES" } else { "no" });
+    println!(
+        "  attacker identifies real updates: {}",
+        if wins_protected { "YES" } else { "no" }
+    );
 
     println!("\nAblation (dummy updates but in-place writes, as in Figure 1):");
     println!("  changed blocks observed: {obs_i}");
     println!("  KL divergence from uniform: {kl_inplace:.3} bits");
-    println!("  attacker identifies real updates: {}", if wins_inplace { "YES" } else { "no" });
+    println!(
+        "  attacker identifies real updates: {}",
+        if wins_inplace { "YES" } else { "no" }
+    );
 
-    assert!(!wins_protected, "the protected configuration must resist update analysis");
-    assert!(wins_inplace, "the in-place configuration is expected to leak");
+    assert!(
+        !wins_protected,
+        "the protected configuration must resist update analysis"
+    );
+    assert!(
+        wins_inplace,
+        "the in-place configuration is expected to leak"
+    );
     println!("\nAs in the paper: relocation makes the DBMS's updates vanish into the dummy noise.");
 }

@@ -82,9 +82,18 @@ fn main() {
     let front_stats = front.stats();
 
     println!("Direct reads from the StegFS partition:");
-    println!("  partition requests observed by the attacker: {}", direct.observations);
-    println!("  repetition rate of physical positions: {:.2}", direct.repetition_rate);
-    println!("  attacker distinguishes the workload: {}", if direct.distinguishable { "YES" } else { "no" });
+    println!(
+        "  partition requests observed by the attacker: {}",
+        direct.observations
+    );
+    println!(
+        "  repetition rate of physical positions: {:.2}",
+        direct.repetition_rate
+    );
+    println!(
+        "  attacker distinguishes the workload: {}",
+        if direct.distinguishable { "YES" } else { "no" }
+    );
 
     println!("\nReads through the oblivious storage:");
     println!(

@@ -9,8 +9,8 @@
 //! about the volume contradicts her story (Section 4.2.1).
 
 use stegfs_repro::prelude::*;
-use stegfs_repro::steghide::{AgentConfig, UserCredential, VolatileAgent};
 use stegfs_repro::stegfs::{FileAccessKey, StegFsConfig};
+use stegfs_repro::steghide::{AgentConfig, UserCredential, VolatileAgent};
 
 fn main() {
     let fs_cfg = StegFsConfig::default();
@@ -36,9 +36,12 @@ fn main() {
 
     // ---- The agent restarts: it now knows nothing at all. -----------------
     let device = setup.into_device();
-    let mut agent =
-        VolatileAgent::mount(device, AgentConfig::default(), 99).expect("mount with zero knowledge");
-    println!("agent restarted: knows about {} blocks", agent.block_map().data_blocks());
+    let mut agent = VolatileAgent::mount(device, AgentConfig::default(), 99)
+        .expect("mount with zero knowledge");
+    println!(
+        "agent restarted: knows about {} blocks",
+        agent.block_map().data_blocks()
+    );
 
     // ---- Alice logs in, disclosing both her real and her decoy files. -----
     let session = agent
@@ -89,6 +92,10 @@ fn main() {
         decoy_bytes.len(),
         fake_diary.len()
     );
-    assert_ne!(&fake_diary[..50], &diary[..50], "the wrong content key yields garbage");
+    assert_ne!(
+        &fake_diary[..50],
+        &diary[..50],
+        "the wrong content key yields garbage"
+    );
     println!("nothing distinguishes the real diary from a decoy — plausible deniability holds");
 }

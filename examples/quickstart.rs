@@ -9,8 +9,8 @@
 //! with dummy updates.
 
 use stegfs_repro::prelude::*;
-use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent, UpdateOutcome};
 use stegfs_repro::stegfs::StegFsConfig;
+use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent, UpdateOutcome};
 
 fn main() {
     // A 64 MB in-memory volume of 4 KB blocks. Swap in `FileDevice` for a

@@ -3,8 +3,8 @@
 //! updates with relocation, logout and a second restart.
 
 use stegfs_repro::prelude::*;
-use stegfs_repro::steghide::{AgentConfig, UserCredential, VolatileAgent};
 use stegfs_repro::stegfs::{FileAccessKey, StegFsConfig};
+use stegfs_repro::steghide::{AgentConfig, UserCredential, VolatileAgent};
 
 const BLOCK_SIZE: usize = 512;
 
@@ -22,8 +22,11 @@ fn users(per_block: usize) -> Vec<User> {
         .map(|(i, name)| User {
             name,
             data_fak: FileAccessKey::from_passphrase(&format!("{name}-data")),
-            dummy_fak: FileAccessKey::from_passphrase(&format!("{name}-dummy")).without_content_key(),
-            content: (0..per_block * (4 + i)).map(|b| ((b + i) % 251) as u8).collect(),
+            dummy_fak: FileAccessKey::from_passphrase(&format!("{name}-dummy"))
+                .without_content_key(),
+            content: (0..per_block * (4 + i))
+                .map(|b| ((b + i) % 251) as u8)
+                .collect(),
         })
         .collect()
 }
@@ -51,7 +54,11 @@ fn multi_user_lifecycle_across_restarts() {
     // Provision every user with a data file and a dummy pool.
     for user in &users {
         setup
-            .provision_file(&format!("/{}/data", user.name), &user.data_fak, &user.content)
+            .provision_file(
+                &format!("/{}/data", user.name),
+                &user.data_fak,
+                &user.content,
+            )
             .unwrap();
         setup
             .provision_dummy_file(&format!("/{}/dummy", user.name), &user.dummy_fak, 12)
@@ -77,7 +84,9 @@ fn multi_user_lifecycle_across_restarts() {
         assert_eq!(agent.read_file(session, files[0]).unwrap(), user.content);
 
         let new_block = vec![0xB0 + i as u8; per_block];
-        agent.update_block(session, files[0], 1, &new_block).unwrap();
+        agent
+            .update_block(session, files[0], 1, &new_block)
+            .unwrap();
         expected[i][per_block..2 * per_block].copy_from_slice(&new_block);
         agent.tick_idle().unwrap();
         assert_eq!(agent.read_file(session, files[0]).unwrap(), expected[i]);
@@ -114,7 +123,9 @@ fn users_cannot_find_each_others_files() {
     )
     .unwrap();
     let alice = FileAccessKey::from_passphrase("alice-data");
-    setup.provision_file("/alice/data", &alice, b"alice's secret").unwrap();
+    setup
+        .provision_file("/alice/data", &alice, b"alice's secret")
+        .unwrap();
 
     let device = setup.into_device();
     let mut agent = VolatileAgent::mount(device, AgentConfig::default(), 6).unwrap();

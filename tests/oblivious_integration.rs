@@ -30,9 +30,9 @@ fn build_partition() -> (
     (fs, file, log, content)
 }
 
-fn build_front<'a>(
-    fs: &'a StegFs<TracingDevice<MemDevice>>,
-) -> ObliviousReadFront<&'a TracingDevice<MemDevice>, MemDevice, MemDevice> {
+fn build_front(
+    fs: &StegFs<TracingDevice<MemDevice>>,
+) -> ObliviousReadFront<&TracingDevice<MemDevice>, MemDevice, MemDevice> {
     let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(BLOCK_SIZE);
     let cfg = ObliviousConfig::new(8, 512);
     let store = ObliviousStore::new(

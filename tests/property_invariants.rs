@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use stegfs_repro::oblivious::{ObliviousConfig, ObliviousStore};
 use stegfs_repro::prelude::*;
-use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
 use stegfs_repro::stegfs::{FileAccessKey, StegFsConfig};
+use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
 
 const BLOCK_SIZE: usize = 512;
 

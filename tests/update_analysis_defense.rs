@@ -5,8 +5,8 @@
 use stegfs_repro::analysis::UpdateAnalysisAttacker;
 use stegfs_repro::blockdev::Snapshot;
 use stegfs_repro::prelude::*;
-use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
 use stegfs_repro::stegfs::StegFsConfig;
+use stegfs_repro::steghide::{AgentConfig, NonVolatileAgent};
 
 const BLOCK_SIZE: usize = 512;
 const VOLUME_BLOCKS: u64 = 4096;
