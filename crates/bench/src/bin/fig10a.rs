@@ -5,26 +5,32 @@
 //! steganographic systems are close to each other and grow linearly with the
 //! file size (every block is a random I/O); CleanDisk and FragDisk are far
 //! cheaper thanks to sequential I/O.
+//!
+//! Every `(file size, system)` data point builds its own test bed and
+//! measures on its own simulated clock, so all points run concurrently via
+//! [`fan_out`]; the printed table is identical to the sequential version.
 
-use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
-use stegfs_bench::report::{fmt_secs, print_table};
+use stegfs_bench::harness::{fan_out, pick, BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_secs, label_rows, print_table};
 
 fn main() {
-    let file_sizes_mb = [2u64, 4, 6, 8, 10];
-    let volume_blocks = 131_072; // 512 MB volume, utilisation well below 50 %.
+    let file_sizes_mb: Vec<u64> = pick(vec![2, 4, 6, 8, 10], vec![2, 4]);
+    let volume_blocks = pick(131_072, 32_768); // 512 MB volume (128 MB quick).
 
-    let mut rows = Vec::new();
-    for &mb in &file_sizes_mb {
+    let points: Vec<(u64, SystemKind)> = file_sizes_mb
+        .iter()
+        .flat_map(|&mb| SystemKind::all().map(|kind| (mb, kind)))
+        .collect();
+    let cells = fan_out(points, |(mb, kind)| {
         let blocks = mb * 1024 * 1024 / BLOCK_SIZE as u64;
-        let mut row = vec![format!("{mb}")];
-        for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![blocks], 42 + mb);
-            let mut bed = TestBed::build(kind, &spec);
-            bed.read_whole_file(0);
-            row.push(fmt_secs(bed.clock().now_us() as f64));
-        }
-        rows.push(row);
-    }
+        let spec = BuildSpec::new(volume_blocks, vec![blocks], 42 + mb);
+        let mut bed = TestBed::build(kind, &spec);
+        bed.read_whole_file(0);
+        fmt_secs(bed.clock().now_us() as f64)
+    });
+
+    let labels: Vec<String> = file_sizes_mb.iter().map(|mb| format!("{mb}")).collect();
+    let rows = label_rows(&labels, &cells, SystemKind::all().len());
 
     print_table(
         "Figure 10(a): access time (s) of retrieving a file, vs file size (MB), single user",

@@ -6,43 +6,50 @@
 //! Expected shape: the native file systems lose their sequential-I/O
 //! advantage as concurrency rises, so all five systems converge at high
 //! concurrency (the paper's crossover around 16 users).
+//!
+//! Each `(concurrency, system)` point is an independent simulation, so the
+//! points run concurrently via [`fan_out`].
 
-use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
-use stegfs_bench::report::{fmt_secs, print_table};
+use stegfs_bench::harness::{fan_out, pick, BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_secs, label_rows, print_table};
 use stegfs_workload::{RoundRobinDriver, UserTask};
 
 fn main() {
-    let concurrency = [1usize, 2, 4, 8, 16, 32];
-    let file_mb = 4u64;
+    let concurrency: Vec<usize> = pick(vec![1, 2, 4, 8, 16, 32], vec![1, 4]);
+    let file_mb = pick(4u64, 2);
     let file_blocks = file_mb * 1024 * 1024 / BLOCK_SIZE as u64;
-    let volume_blocks = 131_072; // 512 MB
+    let volume_blocks = pick(131_072, 32_768); // 512 MB (128 MB quick)
 
-    let mut rows = Vec::new();
-    for &users in &concurrency {
-        let mut row = vec![format!("{users}")];
-        for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks; users], 100 + users as u64);
-            let mut bed = TestBed::build(kind, &spec);
-            let clock = bed.clock().clone();
-            let tasks: Vec<UserTask<TestBed>> = (0..users)
-                .map(|u| {
-                    let total = file_blocks;
-                    let mut next = 0u64;
-                    Box::new(move |bed: &mut TestBed| {
-                        bed.read_block(u, next);
-                        next += 1;
-                        next == total
-                    }) as UserTask<TestBed>
-                })
-                .collect();
-            let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
-            row.push(fmt_secs(RoundRobinDriver::mean_elapsed_us(&timings)));
-        }
-        rows.push(row);
-    }
+    let points: Vec<(usize, SystemKind)> = concurrency
+        .iter()
+        .flat_map(|&users| SystemKind::all().map(|kind| (users, kind)))
+        .collect();
+    let cells = fan_out(points, |(users, kind)| {
+        let spec = BuildSpec::new(volume_blocks, vec![file_blocks; users], 100 + users as u64);
+        let mut bed = TestBed::build(kind, &spec);
+        let clock = bed.clock().clone();
+        let tasks: Vec<UserTask<TestBed>> = (0..users)
+            .map(|u| {
+                let total = file_blocks;
+                let mut next = 0u64;
+                Box::new(move |bed: &mut TestBed| {
+                    bed.read_block(u, next);
+                    next += 1;
+                    next == total
+                }) as UserTask<TestBed>
+            })
+            .collect();
+        let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
+        fmt_secs(RoundRobinDriver::mean_elapsed_us(&timings))
+    });
+
+    let labels: Vec<String> = concurrency.iter().map(|users| format!("{users}")).collect();
+    let rows = label_rows(&labels, &cells, SystemKind::all().len());
 
     print_table(
-        "Figure 10(b): mean access time (s) of retrieving a 4 MB file, vs concurrency",
+        &format!(
+            "Figure 10(b): mean access time (s) of retrieving a {file_mb} MB file, vs concurrency"
+        ),
         &[
             "concurrency",
             "StegHide",

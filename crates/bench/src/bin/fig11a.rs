@@ -3,34 +3,42 @@
 //! Expected shape: StegHide and StegHide* grow with utilisation following the
 //! `E = N/D` analysis of Section 4.1.5, while StegFS, FragDisk and CleanDisk
 //! are flat (they update in place regardless of how full the volume is).
+//!
+//! Each `(utilisation, system)` point is an independent simulation, so the
+//! points run concurrently via [`fan_out`].
 
-use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
-use stegfs_bench::report::{fmt_ms, print_table};
+use stegfs_bench::harness::{fan_out, pick, BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_ms, label_rows, print_table};
 use stegfs_crypto::HashDrbg;
 
 fn main() {
-    let utilisations = [0.1f64, 0.2, 0.3, 0.4, 0.5];
-    let volume_blocks = 32_768; // 128 MB volume
+    let utilisations: Vec<f64> = pick(vec![0.1, 0.2, 0.3, 0.4, 0.5], vec![0.1, 0.4]);
+    let volume_blocks = pick(32_768, 16_384); // 128 MB volume (64 MB quick)
     let file_blocks = 4 * 1024 * 1024 / BLOCK_SIZE as u64; // one 4 MB workload file
-    let updates_per_point = 200u64;
+    let updates_per_point = pick(200u64, 50);
 
-    let mut rows = Vec::new();
-    for &util in &utilisations {
-        let mut row = vec![format!("{util:.1}")];
-        for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 7).with_utilisation(util);
-            let mut bed = TestBed::build(kind, &spec);
-            let mut rng = HashDrbg::from_u64(999);
-            let t0 = bed.clock().now_us();
-            for _ in 0..updates_per_point {
-                let block = rng.gen_range(file_blocks);
-                bed.update_blocks(0, block, 1);
-            }
-            let elapsed = bed.clock().now_us() - t0;
-            row.push(fmt_ms(elapsed as f64 / updates_per_point as f64));
+    let points: Vec<(f64, SystemKind)> = utilisations
+        .iter()
+        .flat_map(|&util| SystemKind::all().map(|kind| (util, kind)))
+        .collect();
+    let cells = fan_out(points, |(util, kind)| {
+        let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 7).with_utilisation(util);
+        let mut bed = TestBed::build(kind, &spec);
+        let mut rng = HashDrbg::from_u64(999);
+        let t0 = bed.clock().now_us();
+        for _ in 0..updates_per_point {
+            let block = rng.gen_range(file_blocks);
+            bed.update_blocks(0, block, 1);
         }
-        rows.push(row);
-    }
+        let elapsed = bed.clock().now_us() - t0;
+        fmt_ms(elapsed as f64 / updates_per_point as f64)
+    });
+
+    let labels: Vec<String> = utilisations
+        .iter()
+        .map(|util| format!("{util:.1}"))
+        .collect();
+    let rows = label_rows(&labels, &cells, SystemKind::all().len());
 
     print_table(
         "Figure 11(a): access time (ms) of updating one random data block, vs space utilisation",

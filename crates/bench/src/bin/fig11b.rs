@@ -5,34 +5,39 @@
 //! update range (each block is an independent random I/O pair, or several for
 //! the relocating agents); the native systems stay nearly flat thanks to
 //! sequential I/O over the consecutive blocks.
+//!
+//! Each `(range, system)` point is an independent simulation, so the points
+//! run concurrently via [`fan_out`].
 
-use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
-use stegfs_bench::report::{fmt_ms, print_table};
+use stegfs_bench::harness::{fan_out, pick, BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_ms, label_rows, print_table};
 use stegfs_crypto::HashDrbg;
 
 fn main() {
-    let ranges = [1u64, 2, 3, 4, 5];
-    let volume_blocks = 32_768; // 128 MB
+    let ranges: Vec<u64> = pick(vec![1, 2, 3, 4, 5], vec![1, 5]);
+    let volume_blocks = pick(32_768, 16_384); // 128 MB (64 MB quick)
     let file_blocks = 4 * 1024 * 1024 / BLOCK_SIZE as u64;
-    let updates_per_point = 100u64;
+    let updates_per_point = pick(100u64, 25);
 
-    let mut rows = Vec::new();
-    for &range in &ranges {
-        let mut row = vec![format!("{range}")];
-        for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 21).with_utilisation(0.25);
-            let mut bed = TestBed::build(kind, &spec);
-            let mut rng = HashDrbg::from_u64(31);
-            let t0 = bed.clock().now_us();
-            for _ in 0..updates_per_point {
-                let start = rng.gen_range(file_blocks - range);
-                bed.update_blocks(0, start, range);
-            }
-            let elapsed = bed.clock().now_us() - t0;
-            row.push(fmt_ms(elapsed as f64 / updates_per_point as f64));
+    let points: Vec<(u64, SystemKind)> = ranges
+        .iter()
+        .flat_map(|&range| SystemKind::all().map(|kind| (range, kind)))
+        .collect();
+    let cells = fan_out(points, |(range, kind)| {
+        let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 21).with_utilisation(0.25);
+        let mut bed = TestBed::build(kind, &spec);
+        let mut rng = HashDrbg::from_u64(31);
+        let t0 = bed.clock().now_us();
+        for _ in 0..updates_per_point {
+            let start = rng.gen_range(file_blocks - range);
+            bed.update_blocks(0, start, range);
         }
-        rows.push(row);
-    }
+        let elapsed = bed.clock().now_us() - t0;
+        fmt_ms(elapsed as f64 / updates_per_point as f64)
+    });
+
+    let labels: Vec<String> = ranges.iter().map(|range| format!("{range}")).collect();
+    let rows = label_rows(&labels, &cells, SystemKind::all().len());
 
     print_table(
         "Figure 11(b): access time (ms) of updating N consecutive blocks (25% utilisation)",

@@ -5,47 +5,52 @@
 //! different users interleave on the shared disk. Expected shape: as in
 //! Figure 10(b), the native systems' sequential advantage erodes with
 //! concurrency while the steganographic systems scale roughly linearly.
+//!
+//! Each `(concurrency, system)` point is an independent simulation, so the
+//! points run concurrently via [`fan_out`].
 
-use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
-use stegfs_bench::report::{fmt_secs, print_table};
+use stegfs_bench::harness::{fan_out, pick, BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::report::{fmt_secs, label_rows, print_table};
 use stegfs_crypto::HashDrbg;
 use stegfs_workload::{RoundRobinDriver, UserTask};
 
 fn main() {
-    let concurrency = [1usize, 2, 4, 8, 16, 32];
+    let concurrency: Vec<usize> = pick(vec![1, 2, 4, 8, 16, 32], vec![1, 4]);
     let range = 5u64;
-    let updates_per_user = 20u64;
+    let updates_per_user = pick(20u64, 10);
     let file_blocks = 2 * 1024 * 1024 / BLOCK_SIZE as u64; // 2 MB per user
-    let volume_blocks = 65_536; // 256 MB
+    let volume_blocks = pick(65_536, 32_768); // 256 MB (128 MB quick)
 
-    let mut rows = Vec::new();
-    for &users in &concurrency {
-        let mut row = vec![format!("{users}")];
-        for kind in SystemKind::all() {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks; users], 55 + users as u64)
-                .with_utilisation(0.25);
-            let mut bed = TestBed::build(kind, &spec);
-            let clock = bed.clock().clone();
-            let tasks: Vec<UserTask<TestBed>> = (0..users)
-                .map(|u| {
-                    let mut remaining = updates_per_user;
-                    let mut rng = HashDrbg::from_u64(1000 + u as u64);
-                    Box::new(move |bed: &mut TestBed| {
-                        let start = rng.gen_range(file_blocks - range);
-                        bed.update_blocks(u, start, range);
-                        remaining -= 1;
-                        remaining == 0
-                    }) as UserTask<TestBed>
-                })
-                .collect();
-            let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
-            // The paper reports per-operation access time; divide each user's
-            // elapsed time by the number of its update operations.
-            let mean_op_us = RoundRobinDriver::mean_elapsed_us(&timings) / updates_per_user as f64;
-            row.push(fmt_secs(mean_op_us));
-        }
-        rows.push(row);
-    }
+    let points: Vec<(usize, SystemKind)> = concurrency
+        .iter()
+        .flat_map(|&users| SystemKind::all().map(|kind| (users, kind)))
+        .collect();
+    let cells = fan_out(points, |(users, kind)| {
+        let spec = BuildSpec::new(volume_blocks, vec![file_blocks; users], 55 + users as u64)
+            .with_utilisation(0.25);
+        let mut bed = TestBed::build(kind, &spec);
+        let clock = bed.clock().clone();
+        let tasks: Vec<UserTask<TestBed>> = (0..users)
+            .map(|u| {
+                let mut remaining = updates_per_user;
+                let mut rng = HashDrbg::from_u64(1000 + u as u64);
+                Box::new(move |bed: &mut TestBed| {
+                    let start = rng.gen_range(file_blocks - range);
+                    bed.update_blocks(u, start, range);
+                    remaining -= 1;
+                    remaining == 0
+                }) as UserTask<TestBed>
+            })
+            .collect();
+        let timings = RoundRobinDriver::run(&mut bed, tasks, || clock.now_us());
+        // The paper reports per-operation access time; divide each user's
+        // elapsed time by the number of its update operations.
+        let mean_op_us = RoundRobinDriver::mean_elapsed_us(&timings) / updates_per_user as f64;
+        fmt_secs(mean_op_us)
+    });
+
+    let labels: Vec<String> = concurrency.iter().map(|users| format!("{users}")).collect();
+    let rows = label_rows(&labels, &cells, SystemKind::all().len());
 
     print_table(
         "Figure 11(c): access time (s) of a 5-block update, vs concurrency (25% utilisation)",

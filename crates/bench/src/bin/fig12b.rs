@@ -4,24 +4,24 @@
 //! Expected shape: although sorting accounts for the majority of the I/O
 //! *operations*, it contributes the minority (the paper reports under 30 %) of
 //! the access *time*, because the external merge sort's I/O is mostly
-//! sequential while retrieval is random.
+//! sequential while retrieval is random. Sweep points run concurrently via
+//! [`fan_out`].
 
-use stegfs_bench::harness::{oblivious_sweep, table4_buffer_points, OBLIVIOUS_SCALE};
+use stegfs_bench::harness::{fan_out, oblivious_sweep, sweep_buffer_points, OBLIVIOUS_SCALE};
 use stegfs_bench::report::{fmt_pct, print_table};
 
 fn main() {
     println!("(geometry scaled down by {OBLIVIOUS_SCALE}x, N/B ratios preserved)");
-    let mut rows = Vec::new();
-    for (mb, buffer_blocks) in table4_buffer_points() {
+    let rows = fan_out(sweep_buffer_points(), |(mb, buffer_blocks)| {
         let sweep = oblivious_sweep(mb, buffer_blocks, 15_000 + mb);
-        rows.push(vec![
+        vec![
             format!("{mb}"),
             fmt_pct(1.0 - sweep.sort_time_fraction),
             fmt_pct(sweep.sort_time_fraction),
             fmt_pct(1.0 - sweep.sort_io_fraction),
             fmt_pct(sweep.sort_io_fraction),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Figure 12(b): share of access time (and of I/O operations) spent retrieving vs sorting",
         &[

@@ -3,36 +3,51 @@
 //! For each space utilisation the binary measures the mean number of Figure 6
 //! block-selection iterations per data update (each iteration costs one
 //! read + one write) and compares it against the paper's closed form
-//! `E = N/D = 1 / (1 - utilisation)`.
+//! `E = N/D = 1 / (1 - utilisation)`. Each `(utilisation, agent)` point is an
+//! independent simulation, run concurrently via [`fan_out`].
 
-use stegfs_bench::harness::{BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
+use stegfs_bench::harness::{fan_out, pick, BuildSpec, SystemKind, TestBed, BLOCK_SIZE};
 use stegfs_bench::report::print_table;
 use stegfs_crypto::HashDrbg;
 
 fn main() {
-    let utilisations = [0.05f64, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let volume_blocks = 32_768;
+    let utilisations: Vec<f64> = pick(vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5], vec![0.1, 0.4]);
+    let volume_blocks = pick(32_768, 16_384);
     let file_blocks = 4 * 1024 * 1024 / BLOCK_SIZE as u64;
-    let updates = 400u64;
+    let updates = pick(400u64, 100);
+    let agents = [SystemKind::StegHide, SystemKind::StegHideStar];
 
-    let mut rows = Vec::new();
-    for &util in &utilisations {
-        let analytic = 1.0 / (1.0 - util);
-        let mut row = vec![format!("{util:.2}"), format!("{analytic:.2}")];
-        for kind in [SystemKind::StegHide, SystemKind::StegHideStar] {
-            let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 77).with_utilisation(util);
-            let mut bed = TestBed::build(kind, &spec);
-            let mut rng = HashDrbg::from_u64(5);
-            for _ in 0..updates {
-                let block = rng.gen_range(file_blocks);
-                bed.update_blocks(0, block, 1);
-            }
-            let stats = bed.agent_stats().expect("agent stats");
-            row.push(format!("{:.2}", stats.mean_iterations_per_data_update()));
-            row.push(format!("{:.2}", stats.mean_ios_per_data_update() / 2.0));
+    let points: Vec<(f64, SystemKind)> = utilisations
+        .iter()
+        .flat_map(|&util| agents.map(|kind| (util, kind)))
+        .collect();
+    let cells = fan_out(points, |(util, kind)| {
+        let spec = BuildSpec::new(volume_blocks, vec![file_blocks], 77).with_utilisation(util);
+        let mut bed = TestBed::build(kind, &spec);
+        let mut rng = HashDrbg::from_u64(5);
+        for _ in 0..updates {
+            let block = rng.gen_range(file_blocks);
+            bed.update_blocks(0, block, 1);
         }
-        rows.push(row);
-    }
+        let stats = bed.agent_stats().expect("agent stats");
+        [
+            format!("{:.2}", stats.mean_iterations_per_data_update()),
+            format!("{:.2}", stats.mean_ios_per_data_update() / 2.0),
+        ]
+    });
+
+    let rows: Vec<Vec<String>> = utilisations
+        .iter()
+        .zip(cells.chunks(agents.len()))
+        .map(|(util, measured)| {
+            let analytic = 1.0 / (1.0 - util);
+            let mut row = vec![format!("{util:.2}"), format!("{analytic:.2}")];
+            for cell in measured {
+                row.extend_from_slice(cell);
+            }
+            row
+        })
+        .collect();
 
     print_table(
         "Expected update overhead E = N/D (Section 4.1.5): analytic vs measured iterations per update",

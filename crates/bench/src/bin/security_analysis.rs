@@ -17,6 +17,7 @@
 
 use stegfs_analysis::{kl_divergence_between, TrafficAnalysisAttacker, UpdateAnalysisAttacker};
 use stegfs_base::{FileAccessKey, StegFs, StegFsConfig};
+use stegfs_bench::harness::{fan_out, pick};
 use stegfs_bench::report::print_table;
 use stegfs_blockdev::{MemDevice, Snapshot, TracingDevice};
 use stegfs_crypto::{HashDrbg, Key256};
@@ -26,7 +27,7 @@ use steghide::{AgentConfig, NonVolatileAgent};
 
 const BLOCK_SIZE: usize = 4096;
 
-fn update_analysis_scenario(relocate: bool) -> (f64, f64, bool, u64) {
+fn update_analysis_scenario(relocate: bool, rounds: u64) -> (f64, f64, bool, u64) {
     let volume_blocks = 8192u64;
     let device = MemDevice::new(volume_blocks, BLOCK_SIZE);
     let cfg = if relocate {
@@ -62,7 +63,7 @@ fn update_analysis_scenario(relocate: bool) -> (f64, f64, bool, u64) {
     let payload = vec![0x5Au8; per_block as usize];
 
     let mut before = Snapshot::capture(agent.fs().device()).expect("snapshot");
-    for _round in 0..40 {
+    for _round in 0..rounds {
         for _ in 0..10 {
             let block = pattern.next(&mut rng);
             agent.update_block(hot, block, &payload).expect("update");
@@ -83,7 +84,7 @@ fn update_analysis_scenario(relocate: bool) -> (f64, f64, bool, u64) {
 
 /// Observed physical read positions for a workload against the plain StegFS
 /// partition (no oblivious storage).
-fn direct_read_positions(skewed: bool) -> (Vec<u64>, u64) {
+fn direct_read_positions(skewed: bool, reads: u64) -> (Vec<u64>, u64) {
     let volume_blocks = 4096u64;
     let device = TracingDevice::new(MemDevice::new(volume_blocks, BLOCK_SIZE));
     let (fs, mut map) =
@@ -101,7 +102,7 @@ fn direct_read_positions(skewed: bool) -> (Vec<u64>, u64) {
         AccessPattern::uniform(128)
     };
     fs.device().log().clear();
-    for _ in 0..2000 {
+    for _ in 0..reads {
         let b = pattern.next(&mut rng);
         fs.read_content_block(&file, b).expect("read");
     }
@@ -117,7 +118,7 @@ fn direct_read_positions(skewed: bool) -> (Vec<u64>, u64) {
 
 /// Observed physical read positions on the oblivious partition for a workload
 /// served through the oblivious storage.
-fn oblivious_read_positions(skewed: bool) -> (Vec<u64>, u64) {
+fn oblivious_read_positions(skewed: bool, reads: u64) -> (Vec<u64>, u64) {
     let items = 512u64;
     let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(BLOCK_SIZE);
     let cfg = ObliviousConfig::new(16, items);
@@ -151,7 +152,7 @@ fn oblivious_read_positions(skewed: bool) -> (Vec<u64>, u64) {
     };
     // Measure the steady-state read phase only: drop the population trace.
     log.clear();
-    for _ in 0..2000 {
+    for _ in 0..reads {
         let id = pattern.next(&mut rng);
         store.read(id).expect("read");
     }
@@ -165,11 +166,24 @@ fn oblivious_read_positions(skewed: bool) -> (Vec<u64>, u64) {
 }
 
 fn main() {
+    // 40 rounds of 10 updates = the 400 data updates the table title quotes;
+    // quick mode keeps the shape with a quarter of the observations.
+    let rounds = pick(40u64, 10);
+    let reads = pick(2000u64, 500);
+
     // ---------------------------------------------------------------- Part 1
-    let (chi_on, kl_on, dist_on, obs_on) = update_analysis_scenario(true);
-    let (chi_off, kl_off, dist_off, obs_off) = update_analysis_scenario(false);
+    // The two agent configurations are independent simulations; run them (and
+    // the four read-trace collections below) concurrently.
+    let update_verdicts = fan_out(vec![true, false], |relocate| {
+        update_analysis_scenario(relocate, rounds)
+    });
+    let (chi_on, kl_on, dist_on, obs_on) = update_verdicts[0];
+    let (chi_off, kl_off, dist_off, obs_off) = update_verdicts[1];
     print_table(
-        "Update analysis (snapshot diffing attacker), 400 data updates on a Zipf-hot file",
+        &format!(
+            "Update analysis (snapshot diffing attacker), {} data updates on a Zipf-hot file",
+            rounds * 10
+        ),
         &[
             "configuration",
             "changed blocks observed",
@@ -196,8 +210,11 @@ fn main() {
     );
 
     // ---------------------------------------------------------------- Part 2
-    let (direct_skewed, direct_universe) = direct_read_positions(true);
-    let (direct_uniform, _) = direct_read_positions(false);
+    let mut direct_traces = fan_out(vec![true, false], |skewed| {
+        direct_read_positions(skewed, reads)
+    });
+    let (direct_uniform, _) = direct_traces.pop().expect("uniform trace");
+    let (direct_skewed, direct_universe) = direct_traces.pop().expect("skewed trace");
     let mut direct_attacker = TrafficAnalysisAttacker::new(direct_universe);
     for (i, &b) in direct_skewed.iter().enumerate() {
         direct_attacker.observe(&stegfs_blockdev::IoRecord {
@@ -209,12 +226,17 @@ fn main() {
     let direct_verdict = direct_attacker.read_verdict(0.01);
     let direct_kl = kl_divergence_between(&direct_skewed, &direct_uniform, direct_universe, 64);
 
-    let (obli_skewed, obli_universe) = oblivious_read_positions(true);
-    let (obli_uniform, _) = oblivious_read_positions(false);
+    let mut obli_traces = fan_out(vec![true, false], |skewed| {
+        oblivious_read_positions(skewed, reads)
+    });
+    let (obli_uniform, _) = obli_traces.pop().expect("uniform trace");
+    let (obli_skewed, obli_universe) = obli_traces.pop().expect("skewed trace");
     let obli_kl = kl_divergence_between(&obli_skewed, &obli_uniform, obli_universe, 64);
 
     print_table(
-        "Traffic analysis (request-stream attacker), 2000 reads with a Zipf-skewed workload",
+        &format!(
+            "Traffic analysis (request-stream attacker), {reads} reads with a Zipf-skewed workload"
+        ),
         &[
             "configuration",
             "requests observed",

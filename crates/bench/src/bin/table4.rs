@@ -6,8 +6,11 @@
 //! are all that the height and the overhead depend on) and scales the absolute
 //! sizes down by `OBLIVIOUS_SCALE` so the sweep completes quickly; both the
 //! analytic factor and the factor measured by counting real I/Os are printed.
+//! Sweep points run concurrently via [`fan_out`].
 
-use stegfs_bench::harness::{oblivious_sweep, table4_buffer_points, BLOCK_SIZE, OBLIVIOUS_SCALE};
+use stegfs_bench::harness::{
+    fan_out, oblivious_sweep, sweep_buffer_points, BLOCK_SIZE, OBLIVIOUS_SCALE,
+};
 use stegfs_bench::report::print_table;
 use stegfs_oblivious::ObliviousConfig;
 
@@ -16,8 +19,7 @@ fn main() {
         "(geometry scaled down by {OBLIVIOUS_SCALE}x; N/B ratios — and therefore heights and \
          overhead factors — match the paper's 1 GB store)"
     );
-    let mut rows = Vec::new();
-    for (mb, buffer_blocks) in table4_buffer_points() {
+    let rows = fan_out(sweep_buffer_points(), |(mb, buffer_blocks)| {
         // The analytic factor is evaluated at the paper's unscaled geometry
         // (1 GB last level, `mb`-MB buffer); the measured factor comes from
         // the scaled simulation, whose N/B ratio is identical.
@@ -26,14 +28,14 @@ fn main() {
             1024 * 1024 * 1024 / BLOCK_SIZE as u64,
         );
         let sweep = oblivious_sweep(mb, buffer_blocks, 9000 + mb);
-        rows.push(vec![
+        vec![
             format!("{mb}M"),
             format!("{}", sweep.height),
             format!("{}", 10 * sweep.height),
             format!("{:.1}", unscaled.overhead_factor()),
             format!("{:.1}", sweep.measured_overhead),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Table 4: oblivious storage height and overhead factor vs buffer size",
         &[

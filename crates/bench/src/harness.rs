@@ -1,5 +1,8 @@
-//! Shared experiment plumbing: the five systems under test and the
-//! oblivious-storage sweep.
+//! Shared experiment plumbing: the five systems under test, the
+//! oblivious-storage sweep, and the scoped-thread fan-out that the figure
+//! bins use to run independent data points concurrently.
+
+use std::sync::Mutex;
 
 use stegfs_base::{BlockMap, FileAccessKey, OpenFile, StegFs, StegFsConfig};
 use stegfs_baselines::{AllocationPolicy, NativeFs};
@@ -11,6 +14,69 @@ use steghide::{AgentConfig, FileId, NonVolatileAgent, SessionId, UserCredential,
 
 /// Block size used by every experiment (the paper's Table 2).
 pub const BLOCK_SIZE: usize = 4096;
+
+/// True when the figure bins should run in quick mode — fewer data points and
+/// smaller volumes, for CI smoke runs. Enabled by passing `--quick` on the
+/// command line or setting `STEGFS_BENCH_QUICK=1` (any non-empty value other
+/// than `0`).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("STEGFS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Pick `full` or `quick` experiment parameters according to [`quick_mode`].
+pub fn pick<T>(full: T, quick: T) -> T {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Run independent experiment points concurrently on scoped threads and
+/// return their results in input order.
+///
+/// Every figure data point builds its own [`TestBed`] (or oblivious store)
+/// and measures on its own simulated clock, so points share no state and the
+/// fan-out is embarrassingly parallel. Points are handed to `worker` from a
+/// shared queue so long points (high utilisation, high concurrency) do not
+/// serialise behind short ones. A panicking worker propagates out of the
+/// scope, so failures are as loud as in the sequential version.
+pub fn fan_out<P, R, F>(points: Vec<P>, worker: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = points.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return points.into_iter().map(worker).collect();
+    }
+
+    // Reversed so `pop` serves points in input order.
+    let queue: Mutex<Vec<(usize, P)>> = Mutex::new(points.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
+                let Some((index, point)) = next else { break };
+                let value = worker(point);
+                results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((index, value));
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, value)| value).collect()
+}
 
 /// A simulated-disk-backed in-memory device.
 pub type Sim = SimDevice<MemDevice>;
@@ -431,6 +497,19 @@ pub fn table4_buffer_points() -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// [`table4_buffer_points`] honouring [`quick_mode`]: the full sweep, or just
+/// its two endpoints (the smallest and largest buffers still exercise both
+/// extremes of the hierarchy height). Shared by `fig12a`, `fig12b` and
+/// `table4` so the quick sampling policy lives in one place.
+pub fn sweep_buffer_points() -> Vec<(u64, u64)> {
+    let all = table4_buffer_points();
+    if quick_mode() {
+        vec![all[0], *all.last().expect("table 4 has points")]
+    } else {
+        all
+    }
+}
+
 /// Run one oblivious-storage sweep point: populate the store, read every
 /// cached block once in random order, and report timing / overhead splits.
 pub fn oblivious_sweep(buffer_label_mb: u64, buffer_blocks: u64, seed: u64) -> ObliviousSweep {
@@ -505,6 +584,45 @@ mod tests {
 
     fn tiny_spec() -> BuildSpec {
         BuildSpec::new(4096, vec![32, 32], 7)
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        let points: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = points.iter().map(|p| p * 3 + 1).collect();
+        assert_eq!(fan_out(points, |p| p * 3 + 1), expected);
+        assert_eq!(fan_out(Vec::<u64>::new(), |p| p), Vec::<u64>::new());
+        assert_eq!(fan_out(vec![9u64], |p| p + 1), vec![10]);
+    }
+
+    #[test]
+    fn fan_out_runs_independent_testbeds() {
+        // The exact shape of every figure bin: each point builds its own bed
+        // and measures on its own simulated clock.
+        let times = fan_out(
+            vec![SystemKind::CleanDisk, SystemKind::StegFsBase],
+            |kind| {
+                let mut bed = TestBed::build(kind, &tiny_spec());
+                bed.read_whole_file(0);
+                bed.clock().now_us()
+            },
+        );
+        assert_eq!(times.len(), 2);
+        assert!(times.iter().all(|&t| t > 0));
+        assert!(times[1] > times[0], "StegFS reads cost more than CleanDisk");
+    }
+
+    #[test]
+    fn pick_follows_quick_mode() {
+        // `cargo test` passes no --quick flag, so quick mode is controlled
+        // entirely by the environment; only assert when the developer has not
+        // exported STEGFS_BENCH_QUICK in the surrounding shell.
+        if std::env::var_os("STEGFS_BENCH_QUICK").is_none() {
+            assert!(!quick_mode());
+            assert_eq!(pick(10, 2), 10);
+        } else {
+            assert_eq!(pick(10, 2), if quick_mode() { 2 } else { 10 });
+        }
     }
 
     #[test]

@@ -17,11 +17,18 @@
 //! | Figure 12(b) — sorting vs retrieving overhead fraction | `fig12b` |
 //! | §4.1.5 `E = N/D` analysis (extra) | `overhead_model` |
 //! | Definition 1 validation (extra) | `security_analysis` |
+//! | Crypto/update-path wall-clock baseline (extra) | `crypto_baseline` |
 //!
 //! Run with `cargo run --release -p stegfs-bench --bin <name>`; all times are
 //! *simulated* times on the paper's 2004-era disk model (see
 //! `stegfs_blockdev::sim::DiskModel`), so absolute values are comparable to
 //! the paper's testbed rather than to the machine running the simulation.
+//! (`crypto_baseline` is the exception: it measures real wall-clock
+//! throughput and writes `BENCH_crypto.json`.)
+//!
+//! Independent data points of an experiment run concurrently on scoped
+//! threads ([`harness::fan_out`]); every bin also accepts `--quick` (or
+//! `STEGFS_BENCH_QUICK=1`) for a smaller CI-sized run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

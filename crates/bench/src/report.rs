@@ -35,6 +35,28 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Assemble table rows from a fan-out's flat result cells: chunk `cells` into
+/// rows of `per_row` and prepend the matching x-axis label. Every figure bin
+/// produces its cells in `(label, system)` cross-product order, so this is
+/// the one place the re-grouping logic lives.
+pub fn label_rows(labels: &[String], cells: &[String], per_row: usize) -> Vec<Vec<String>> {
+    assert_eq!(
+        cells.len(),
+        labels.len() * per_row,
+        "one cell per (label, column) pair"
+    );
+    labels
+        .iter()
+        .zip(cells.chunks(per_row))
+        .map(|(label, row)| {
+            let mut out = Vec::with_capacity(per_row + 1);
+            out.push(label.clone());
+            out.extend_from_slice(row);
+            out
+        })
+        .collect()
+}
+
 /// Format simulated microseconds as seconds with three decimals.
 pub fn fmt_secs(us: f64) -> String {
     format!("{:.3}", us / 1_000_000.0)

@@ -64,6 +64,9 @@ pub(crate) struct AgentCore<D> {
     /// volume is encrypted under this one key. `None` for the volatile agent
     /// (Construction 2): keys are per file and found through the registry.
     pub(crate) global_key: Option<Key256>,
+    /// Reusable block-sized buffer for accounting reads, so the per-iteration
+    /// Figure 6 loop does not allocate.
+    scratch: Vec<u8>,
 }
 
 impl<D: BlockDevice> AgentCore<D> {
@@ -82,6 +85,7 @@ impl<D: BlockDevice> AgentCore<D> {
             stats: UpdateStats::default(),
             rng: HashDrbg::new(&rng_seed.to_be_bytes()),
             global_key,
+            scratch: Vec::new(),
         }
     }
 
@@ -140,8 +144,9 @@ impl<D: BlockDevice> AgentCore<D> {
             Some(ResealAction::Random) | None => {
                 // Read first so the request signature (read then write of the
                 // same block) matches every other dummy update.
-                let mut buf = vec![0u8; self.fs.codec().block_size()];
-                self.fs.device().read_block(block, &mut buf)?;
+                let block_size = self.fs.codec().block_size();
+                self.scratch.resize(block_size, 0);
+                self.fs.device().read_block(block, &mut self.scratch)?;
                 self.fs.randomize_block(block)?;
             }
         }
@@ -273,8 +278,9 @@ impl<D: BlockDevice> AgentCore<D> {
     }
 
     fn read_block_for_accounting(&mut self, block: u64) -> Result<(), AgentError> {
-        let mut buf = vec![0u8; self.fs.codec().block_size()];
-        self.fs.device().read_block(block, &mut buf)?;
+        let block_size = self.fs.codec().block_size();
+        self.scratch.resize(block_size, 0);
+        self.fs.device().read_block(block, &mut self.scratch)?;
         self.stats.block_reads += 1;
         Ok(())
     }

@@ -1,0 +1,753 @@
+//! FIPS-197 AES block cipher (128- and 256-bit keys), encryption and
+//! decryption.
+//!
+//! The hot path is a word-oriented implementation built on fused T-tables:
+//! each of the four 256×`u32` encryption tables combines SubBytes, ShiftRows
+//! and MixColumns into a single lookup (and the four decryption tables fuse
+//! the inverse transformations), so a round is 16 table lookups and a handful
+//! of XORs instead of dozens of byte operations. All tables are computed at
+//! compile time, and the round keys live in fixed-size stack arrays, so
+//! constructing an [`Aes128`] or [`Aes256`] performs no heap allocation.
+//!
+//! The original table-free byte-oriented implementation is preserved in
+//! [`reference`]; property tests assert both agree on random keys and blocks.
+
+pub mod reference;
+
+use crate::CryptoError;
+
+/// The AES block size in bytes.
+pub const AES_BLOCK_SIZE: usize = 16;
+
+/// A block cipher operating on 16-byte blocks.
+///
+/// Both [`Aes128`] and [`Aes256`] implement this trait; the rest of the
+/// workspace is generic over it so tests can plug in lighter ciphers.
+pub trait BlockCipher: Send + Sync {
+    /// Encrypt a single 16-byte block in place.
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+    /// Decrypt a single 16-byte block in place.
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+}
+
+impl<C: BlockCipher + ?Sized> BlockCipher for &C {
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        (**self).encrypt_block(block);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        (**self).decrypt_block(block);
+    }
+}
+
+impl<C: BlockCipher + ?Sized> BlockCipher for std::sync::Arc<C> {
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        (**self).encrypt_block(block);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        (**self).decrypt_block(block);
+    }
+}
+
+pub(crate) const SBOX: [u8; 256] = build_sbox();
+pub(crate) const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+// Precomputed GF(2^8) multiplication tables for the MixColumns coefficients;
+// computed at compile time so both implementations are pure table lookups.
+pub(crate) const MUL2: [u8; 256] = build_mul_table(2);
+pub(crate) const MUL3: [u8; 256] = build_mul_table(3);
+pub(crate) const MUL9: [u8; 256] = build_mul_table(9);
+pub(crate) const MUL11: [u8; 256] = build_mul_table(11);
+pub(crate) const MUL13: [u8; 256] = build_mul_table(13);
+pub(crate) const MUL14: [u8; 256] = build_mul_table(14);
+
+const fn build_mul_table(factor: u8) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = gf_mul(i as u8, factor);
+        i += 1;
+    }
+    table
+}
+
+/// Multiply in GF(2^8) with the AES reduction polynomial 0x11b.
+pub(crate) const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+const fn gf_inv(a: u8) -> u8 {
+    // Brute-force inverse; runs at compile time only.
+    if a == 0 {
+        return 0;
+    }
+    let mut x = 1u16;
+    while x < 256 {
+        if gf_mul(a, x as u8) == 1 {
+            return x as u8;
+        }
+        x += 1;
+    }
+    0
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let inv = gf_inv(i as u8);
+        // Affine transformation.
+        let mut x = inv;
+        let mut res = inv;
+        let mut c = 0;
+        while c < 4 {
+            x = x.rotate_left(1);
+            res ^= x;
+            c += 1;
+        }
+        sbox[i] = res ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let sbox = build_sbox();
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+pub(crate) const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// Fused encryption table: `TE0[x]` is the MixColumns image of the column
+/// `(S[x], 0, 0, 0)`, i.e. the big-endian word `(2·S[x], S[x], S[x], 3·S[x])`.
+/// `TE1..TE3` are byte rotations of `TE0` covering the other three rows, which
+/// is exactly where ShiftRows lands each state byte.
+const TE0: [u32; 256] = build_te0();
+const TE1: [u32; 256] = rotate_table(&TE0, 8);
+const TE2: [u32; 256] = rotate_table(&TE0, 16);
+const TE3: [u32; 256] = rotate_table(&TE0, 24);
+
+/// Fused decryption table: `TD0[x]` is the InvMixColumns image of the column
+/// `(Si[x], 0, 0, 0)` — the word `(14·Si[x], 9·Si[x], 13·Si[x], 11·Si[x])`.
+const TD0: [u32; 256] = build_td0();
+const TD1: [u32; 256] = rotate_table(&TD0, 8);
+const TD2: [u32; 256] = rotate_table(&TD0, 16);
+const TD3: [u32; 256] = rotate_table(&TD0, 24);
+
+const fn build_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        t[i] = ((MUL2[s as usize] as u32) << 24)
+            | ((s as u32) << 16)
+            | ((s as u32) << 8)
+            | (MUL3[s as usize] as u32);
+        i += 1;
+    }
+    t
+}
+
+const fn build_td0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = INV_SBOX[i] as usize;
+        t[i] = ((MUL14[s] as u32) << 24)
+            | ((MUL9[s] as u32) << 16)
+            | ((MUL13[s] as u32) << 8)
+            | (MUL11[s] as u32);
+        i += 1;
+    }
+    t
+}
+
+const fn rotate_table(base: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = base[i].rotate_right(bits);
+        i += 1;
+    }
+    t
+}
+
+#[inline]
+fn sub_word(w: u32) -> u32 {
+    ((SBOX[(w >> 24) as usize] as u32) << 24)
+        | ((SBOX[((w >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((w >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(w & 0xff) as usize] as u32)
+}
+
+/// InvMixColumns of one big-endian column word; applied to the middle rounds
+/// of the decryption schedule so decryption can use the fused `TD` tables
+/// (the "equivalent inverse cipher" of FIPS-197 Section 5.3.5).
+#[inline]
+fn inv_mix_word(w: u32) -> u32 {
+    let [a0, a1, a2, a3] = w.to_be_bytes();
+    let (a0, a1, a2, a3) = (a0 as usize, a1 as usize, a2 as usize, a3 as usize);
+    u32::from_be_bytes([
+        MUL14[a0] ^ MUL11[a1] ^ MUL13[a2] ^ MUL9[a3],
+        MUL9[a0] ^ MUL14[a1] ^ MUL11[a2] ^ MUL13[a3],
+        MUL13[a0] ^ MUL9[a1] ^ MUL14[a2] ^ MUL11[a3],
+        MUL11[a0] ^ MUL13[a1] ^ MUL9[a2] ^ MUL14[a3],
+    ])
+}
+
+/// Expanded round keys for both directions, in fixed-size stack arrays
+/// (`W = 4 * (rounds + 1)` words). Construction never touches the heap.
+#[derive(Clone)]
+struct Schedule<const W: usize> {
+    enc: [u32; W],
+    dec: [u32; W],
+}
+
+impl<const W: usize> Schedule<W> {
+    /// FIPS-197 key expansion into both directions' round keys. The key
+    /// length is checked once here with a typed error; nothing downstream can
+    /// panic on a short slice.
+    fn expand(key: &[u8]) -> Result<Self, CryptoError> {
+        let nk = match W {
+            44 => 4, // AES-128: 4-word key, 10 rounds, 44 schedule words.
+            60 => 8, // AES-256: 8-word key, 14 rounds, 60 schedule words.
+            _ => unreachable!("unsupported schedule size"),
+        };
+        if key.len() != nk * 4 {
+            return Err(CryptoError::BadKeyLength {
+                expected: nk * 4,
+                got: key.len(),
+            });
+        }
+        let rounds = W / 4 - 1;
+        let mut enc = [0u32; W];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            enc[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in nk..W {
+            let mut temp = enc[i - 1];
+            if i % nk == 0 {
+                temp = sub_word(temp.rotate_left(8)) ^ ((RCON[i / nk - 1] as u32) << 24);
+            } else if nk > 6 && i % nk == 4 {
+                temp = sub_word(temp);
+            }
+            enc[i] = enc[i - nk] ^ temp;
+        }
+
+        // Decryption schedule: round keys in reverse round order, with
+        // InvMixColumns folded into every middle round.
+        let mut dec = [0u32; W];
+        for r in 0..=rounds {
+            for c in 0..4 {
+                dec[4 * r + c] = enc[4 * (rounds - r) + c];
+            }
+        }
+        for w in dec[4..4 * rounds].iter_mut() {
+            *w = inv_mix_word(*w);
+        }
+        Ok(Self { enc, dec })
+    }
+}
+
+impl<const W: usize> Drop for Schedule<W> {
+    fn drop(&mut self) {
+        // Explicit clearing of key material on drop. `black_box` keeps the
+        // optimiser from eliding the writes as dead stores.
+        self.enc.fill(0);
+        self.dec.fill(0);
+        core::hint::black_box(&self.enc);
+        core::hint::black_box(&self.dec);
+    }
+}
+
+/// One full encryption through a `W`-word schedule. `W` is a compile-time
+/// constant, so the round count (`W / 4 - 1`) unrolls and every round-key
+/// access is bounds-check free after monomorphisation.
+#[inline]
+fn encrypt_words<const W: usize>(block: &mut [u8; AES_BLOCK_SIZE], rk: &[u32; W]) {
+    let rounds = W / 4 - 1;
+    let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
+    let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[1];
+    let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[2];
+    let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[3];
+
+    let mut k = 4;
+    for _ in 1..rounds {
+        let t0 = TE0[(s0 >> 24) as usize]
+            ^ TE1[((s1 >> 16) & 0xff) as usize]
+            ^ TE2[((s2 >> 8) & 0xff) as usize]
+            ^ TE3[(s3 & 0xff) as usize]
+            ^ rk[k];
+        let t1 = TE0[(s1 >> 24) as usize]
+            ^ TE1[((s2 >> 16) & 0xff) as usize]
+            ^ TE2[((s3 >> 8) & 0xff) as usize]
+            ^ TE3[(s0 & 0xff) as usize]
+            ^ rk[k + 1];
+        let t2 = TE0[(s2 >> 24) as usize]
+            ^ TE1[((s3 >> 16) & 0xff) as usize]
+            ^ TE2[((s0 >> 8) & 0xff) as usize]
+            ^ TE3[(s1 & 0xff) as usize]
+            ^ rk[k + 2];
+        let t3 = TE0[(s3 >> 24) as usize]
+            ^ TE1[((s0 >> 16) & 0xff) as usize]
+            ^ TE2[((s1 >> 8) & 0xff) as usize]
+            ^ TE3[(s2 & 0xff) as usize]
+            ^ rk[k + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+        k += 4;
+    }
+
+    // Final round: SubBytes ∘ ShiftRows only (no MixColumns).
+    let t0 = last_round_word(s0, s1, s2, s3, &SBOX) ^ rk[k];
+    let t1 = last_round_word(s1, s2, s3, s0, &SBOX) ^ rk[k + 1];
+    let t2 = last_round_word(s2, s3, s0, s1, &SBOX) ^ rk[k + 2];
+    let t3 = last_round_word(s3, s0, s1, s2, &SBOX) ^ rk[k + 3];
+
+    block[0..4].copy_from_slice(&t0.to_be_bytes());
+    block[4..8].copy_from_slice(&t1.to_be_bytes());
+    block[8..12].copy_from_slice(&t2.to_be_bytes());
+    block[12..16].copy_from_slice(&t3.to_be_bytes());
+}
+
+#[inline]
+fn decrypt_words<const W: usize>(block: &mut [u8; AES_BLOCK_SIZE], rk: &[u32; W]) {
+    let rounds = W / 4 - 1;
+    let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
+    let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[1];
+    let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[2];
+    let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[3];
+
+    let mut k = 4;
+    for _ in 1..rounds {
+        let t0 = TD0[(s0 >> 24) as usize]
+            ^ TD1[((s3 >> 16) & 0xff) as usize]
+            ^ TD2[((s2 >> 8) & 0xff) as usize]
+            ^ TD3[(s1 & 0xff) as usize]
+            ^ rk[k];
+        let t1 = TD0[(s1 >> 24) as usize]
+            ^ TD1[((s0 >> 16) & 0xff) as usize]
+            ^ TD2[((s3 >> 8) & 0xff) as usize]
+            ^ TD3[(s2 & 0xff) as usize]
+            ^ rk[k + 1];
+        let t2 = TD0[(s2 >> 24) as usize]
+            ^ TD1[((s1 >> 16) & 0xff) as usize]
+            ^ TD2[((s0 >> 8) & 0xff) as usize]
+            ^ TD3[(s3 & 0xff) as usize]
+            ^ rk[k + 2];
+        let t3 = TD0[(s3 >> 24) as usize]
+            ^ TD1[((s2 >> 16) & 0xff) as usize]
+            ^ TD2[((s1 >> 8) & 0xff) as usize]
+            ^ TD3[(s0 & 0xff) as usize]
+            ^ rk[k + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+        k += 4;
+    }
+
+    let t0 = last_round_word(s0, s3, s2, s1, &INV_SBOX) ^ rk[k];
+    let t1 = last_round_word(s1, s0, s3, s2, &INV_SBOX) ^ rk[k + 1];
+    let t2 = last_round_word(s2, s1, s0, s3, &INV_SBOX) ^ rk[k + 2];
+    let t3 = last_round_word(s3, s2, s1, s0, &INV_SBOX) ^ rk[k + 3];
+
+    block[0..4].copy_from_slice(&t0.to_be_bytes());
+    block[4..8].copy_from_slice(&t1.to_be_bytes());
+    block[8..12].copy_from_slice(&t2.to_be_bytes());
+    block[12..16].copy_from_slice(&t3.to_be_bytes());
+}
+
+/// Assemble one final-round output word from the top/high/low/bottom bytes of
+/// the four words ShiftRows (or InvShiftRows) routes into it.
+#[inline]
+fn last_round_word(a: u32, b: u32, c: u32, d: u32, sbox: &[u8; 256]) -> u32 {
+    ((sbox[(a >> 24) as usize] as u32) << 24)
+        | ((sbox[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((sbox[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (sbox[(d & 0xff) as usize] as u32)
+}
+
+/// AES with a 128-bit key (10 rounds).
+#[derive(Clone)]
+pub struct Aes128 {
+    keys: Schedule<44>,
+}
+
+impl Aes128 {
+    /// Construct a cipher instance from a 16-byte key. Allocation-free.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self {
+            keys: Schedule::expand(key).expect("16-byte key is always valid"),
+        }
+    }
+
+    /// Construct from a slice, rejecting wrong lengths with a typed error.
+    pub fn from_slice(key: &[u8]) -> Result<Self, CryptoError> {
+        Ok(Self {
+            keys: Schedule::expand(key)?,
+        })
+    }
+}
+
+impl BlockCipher for Aes128 {
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        encrypt_words(block, &self.keys.enc);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        decrypt_words(block, &self.keys.dec);
+    }
+}
+
+/// AES with a 256-bit key (14 rounds). This is the cipher used throughout the
+/// reproduction, matching the paper's choice of AES for the block cipher.
+#[derive(Clone)]
+pub struct Aes256 {
+    keys: Schedule<60>,
+}
+
+impl Aes256 {
+    /// Construct a cipher instance from a 32-byte key. Allocation-free.
+    pub fn new(key: &[u8; 32]) -> Self {
+        Self {
+            keys: Schedule::expand(key).expect("32-byte key is always valid"),
+        }
+    }
+
+    /// Construct from a slice, rejecting wrong lengths with a typed error.
+    pub fn from_slice(key: &[u8]) -> Result<Self, CryptoError> {
+        Ok(Self {
+            keys: Schedule::expand(key)?,
+        })
+    }
+}
+
+impl BlockCipher for Aes256 {
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        encrypt_words(block, &self.keys.enc);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+        decrypt_words(block, &self.keys.dec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_matches_known_values() {
+        // Spot-check values from the FIPS-197 S-box table.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0x16], 0xff);
+    }
+
+    #[test]
+    fn gf_mul_known_products() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn t_tables_are_consistent_rotations() {
+        for x in 0..256usize {
+            assert_eq!(TE1[x], TE0[x].rotate_right(8));
+            assert_eq!(TE2[x], TE0[x].rotate_right(16));
+            assert_eq!(TE3[x], TE0[x].rotate_right(24));
+            assert_eq!(TD1[x], TD0[x].rotate_right(8));
+            // The table entry must be the MixColumns image of (S[x],0,0,0).
+            let s = SBOX[x] as usize;
+            let expected = u32::from_be_bytes([MUL2[s], SBOX[x], SBOX[x], MUL3[s]]);
+            assert_eq!(TE0[x], expected);
+            let si = INV_SBOX[x] as usize;
+            let expected = u32::from_be_bytes([MUL14[si], MUL9[si], MUL13[si], MUL11[si]]);
+            assert_eq!(TD0[x], expected);
+        }
+    }
+
+    #[test]
+    fn aes128_fips197_vector() {
+        // FIPS-197 Appendix B.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let cipher = Aes128::new(&key);
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext);
+    }
+
+    #[test]
+    fn aes128_fips197_appendix_c1() {
+        // FIPS-197 Appendix C.1 example vectors, both directions.
+        let key: [u8; 16] = hex_to_bytes("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let plaintext: [u8; 16] = hex_to_bytes("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        let expected: [u8; 16] = hex_to_bytes("69c4e0d86a7b0430d8cdb78070b4c55a")
+            .try_into()
+            .unwrap();
+        let cipher = Aes128::new(&key);
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext);
+    }
+
+    #[test]
+    fn aes256_fips197_appendix_c3() {
+        // FIPS-197 Appendix C.3 example vectors.
+        let key: [u8; 32] =
+            hex_to_bytes("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let plaintext: [u8; 16] = hex_to_bytes("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        let expected: [u8; 16] = hex_to_bytes("8ea2b7ca516745bfeafc49904b496089")
+            .try_into()
+            .unwrap();
+        let cipher = Aes256::new(&key);
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext);
+    }
+
+    #[test]
+    fn sp800_38a_ecb_aes128_known_answers() {
+        // NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, all four blocks.
+        let key: [u8; 16] = hex_to_bytes("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let cipher = Aes128::new(&key);
+        let vectors = [
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
+        ];
+        for (pt, ct) in vectors {
+            let mut block: [u8; 16] = hex_to_bytes(pt).try_into().unwrap();
+            cipher.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex_to_bytes(ct), "plaintext {pt}");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex_to_bytes(pt), "ciphertext {ct}");
+        }
+    }
+
+    #[test]
+    fn sp800_38a_ecb_aes256_known_answers() {
+        // NIST SP 800-38A F.1.5 ECB-AES256.Encrypt, all four blocks.
+        let key: [u8; 32] =
+            hex_to_bytes("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
+        let cipher = Aes256::new(&key);
+        let vectors = [
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "f3eed1bdb5d2a03c064b5a7e3db181f8",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "591ccb10d410ed26dc5ba74a31362870",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "b6ed21b99ca6f4f9f153e7b1beafed1d",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "23304b7a39f9f3ff067d8d8f9e24ecc7",
+            ),
+        ];
+        for (pt, ct) in vectors {
+            let mut block: [u8; 16] = hex_to_bytes(pt).try_into().unwrap();
+            cipher.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex_to_bytes(ct), "plaintext {pt}");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex_to_bytes(pt), "ciphertext {ct}");
+        }
+    }
+
+    #[test]
+    fn from_slice_rejects_wrong_lengths() {
+        assert!(Aes128::from_slice(&[0u8; 16]).is_ok());
+        assert!(Aes256::from_slice(&[0u8; 32]).is_ok());
+        for len in [0usize, 15, 17, 24, 31, 33, 64] {
+            let key = vec![0u8; len];
+            if len != 16 {
+                assert_eq!(
+                    Aes128::from_slice(&key).err(),
+                    Some(CryptoError::BadKeyLength {
+                        expected: 16,
+                        got: len
+                    })
+                );
+            }
+            if len != 32 {
+                assert_eq!(
+                    Aes256::from_slice(&key).err(),
+                    Some(CryptoError::BadKeyLength {
+                        expected: 32,
+                        got: len
+                    })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        // Pseudo-random keys/blocks; the exhaustive randomised comparison
+        // lives in tests/proptests.rs.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..64 {
+            let mut key = [0u8; 32];
+            for chunk in key.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&next().to_be_bytes());
+            }
+            let mut block = [0u8; 16];
+            for chunk in block.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&next().to_be_bytes());
+            }
+
+            let fast = Aes256::new(&key);
+            let slow = reference::Aes256::new(&key);
+            let mut a = block;
+            let mut b = block;
+            fast.encrypt_block(&mut a);
+            slow.encrypt_block(&mut b);
+            assert_eq!(a, b, "encrypt mismatch");
+            fast.decrypt_block(&mut a);
+            slow.decrypt_block(&mut b);
+            assert_eq!(a, b, "decrypt mismatch");
+            assert_eq!(a, block);
+
+            let key128: [u8; 16] = key[..16].try_into().unwrap();
+            let fast = Aes128::new(&key128);
+            let slow = reference::Aes128::new(&key128);
+            let mut a = block;
+            let mut b = block;
+            fast.encrypt_block(&mut a);
+            slow.encrypt_block(&mut b);
+            assert_eq!(a, b, "encrypt mismatch (128)");
+        }
+    }
+
+    #[test]
+    fn aes256_roundtrip_many_blocks() {
+        let key = [7u8; 32];
+        let cipher = Aes256::new(&key);
+        for i in 0..64u8 {
+            let original = [i; 16];
+            let mut block = original;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original, "encryption must change the block");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn different_keys_produce_different_ciphertexts() {
+        let c1 = Aes256::new(&[1u8; 32]);
+        let c2 = Aes256::new(&[2u8; 32]);
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        c1.encrypt_block(&mut b1);
+        c2.encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let cipher = Aes256::new(&[5u8; 32]);
+        let mut direct = [9u8; 16];
+        cipher.encrypt_block(&mut direct);
+
+        let via_ref = &cipher;
+        let mut b = [9u8; 16];
+        via_ref.encrypt_block(&mut b);
+        assert_eq!(b, direct);
+
+        let via_arc = std::sync::Arc::new(Aes256::new(&[5u8; 32]));
+        let mut b = [9u8; 16];
+        via_arc.encrypt_block(&mut b);
+        assert_eq!(b, direct);
+        via_arc.decrypt_block(&mut b);
+        assert_eq!(b, [9u8; 16]);
+    }
+}

@@ -54,6 +54,10 @@ impl<C: BlockCipher> CbcCipher<C> {
 
     /// Encrypt `data` in place under `iv`. `data.len()` must be a multiple of
     /// 16 bytes.
+    ///
+    /// The whole buffer is processed in place: each 16-byte lane is XOR-chained
+    /// as one 128-bit word and handed to the block cipher directly, with no
+    /// per-block staging copies.
     pub fn encrypt_in_place(
         &self,
         iv: &[u8; AES_BLOCK_SIZE],
@@ -62,16 +66,13 @@ impl<C: BlockCipher> CbcCipher<C> {
         if data.len() % AES_BLOCK_SIZE != 0 {
             return Err(CbcError::NotBlockAligned { len: data.len() });
         }
-        let mut chain = *iv;
+        let mut chain = u128::from_ne_bytes(*iv);
         for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
-            for (b, c) in block.iter_mut().zip(chain.iter()) {
-                *b ^= c;
-            }
-            let mut buf = [0u8; AES_BLOCK_SIZE];
-            buf.copy_from_slice(block);
-            self.cipher.encrypt_block(&mut buf);
-            block.copy_from_slice(&buf);
-            chain = buf;
+            let block: &mut [u8; AES_BLOCK_SIZE] =
+                block.try_into().expect("chunks_exact yields 16-byte lanes");
+            *block = (u128::from_ne_bytes(*block) ^ chain).to_ne_bytes();
+            self.cipher.encrypt_block(block);
+            chain = u128::from_ne_bytes(*block);
         }
         Ok(())
     }
@@ -85,17 +86,14 @@ impl<C: BlockCipher> CbcCipher<C> {
         if data.len() % AES_BLOCK_SIZE != 0 {
             return Err(CbcError::NotBlockAligned { len: data.len() });
         }
-        let mut chain = *iv;
+        let mut chain = u128::from_ne_bytes(*iv);
         for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
-            let mut buf = [0u8; AES_BLOCK_SIZE];
-            buf.copy_from_slice(block);
-            let next_chain = buf;
-            self.cipher.decrypt_block(&mut buf);
-            for (b, c) in buf.iter_mut().zip(chain.iter()) {
-                *b ^= c;
-            }
-            block.copy_from_slice(&buf);
-            chain = next_chain;
+            let block: &mut [u8; AES_BLOCK_SIZE] =
+                block.try_into().expect("chunks_exact yields 16-byte lanes");
+            let ciphertext = u128::from_ne_bytes(*block);
+            self.cipher.decrypt_block(block);
+            *block = (u128::from_ne_bytes(*block) ^ chain).to_ne_bytes();
+            chain = ciphertext;
         }
         Ok(())
     }
@@ -157,7 +155,8 @@ mod tests {
 
     #[test]
     fn nist_sp800_38a_cbc_aes256() {
-        // NIST SP 800-38A F.2.5 CBC-AES256.Encrypt (first two blocks)
+        // NIST SP 800-38A F.2.5 CBC-AES256.Encrypt / F.2.6 Decrypt, all four
+        // blocks.
         let key: [u8; 32] =
             hex_to_bytes("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
                 .try_into()
@@ -167,15 +166,20 @@ mod tests {
             .unwrap();
         let plaintext = hex_to_bytes(
             "6bc1bee22e409f96e93d7e117393172a\
-             ae2d8a571e03ac9c9eb76fac45af8e51",
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
         );
         let expected = hex_to_bytes(
             "f58c4c04d6e5f1ba779eabfb5f7bfbd6\
-             9cfc4e967edb808d679f777bc6702c7d",
+             9cfc4e967edb808d679f777bc6702c7d\
+             39f23369a9d9bacfa530e26304231461\
+             b2eb05e2c39be9fcda6c19078c6a9d1b",
         );
         let cbc = CbcCipher::new(Aes256::new(&key));
         let ciphertext = cbc.encrypt(&iv, &plaintext).unwrap();
         assert_eq!(ciphertext, expected);
+        assert_eq!(cbc.decrypt(&iv, &ciphertext).unwrap(), plaintext);
     }
 
     #[test]

@@ -11,10 +11,20 @@ use crate::sha256::{Sha256, SHA256_OUTPUT_SIZE};
 const BLOCK_SIZE: usize = 64;
 
 /// Keyed HMAC-SHA-256 instance.
+///
+/// The ipad/opad digest states are computed once at construction and kept
+/// pristine, so one instance can MAC any number of messages (via
+/// [`HmacSha256::mac_with`]) without rehashing the key — two compression
+/// functions saved per MAC, which matters on the block-location derivation
+/// paths that call HMAC once per storage block.
 #[derive(Clone)]
 pub struct HmacSha256 {
+    /// Digest state after absorbing `key ⊕ ipad`; never mutated.
+    inner0: Sha256,
+    /// Digest state after absorbing `key ⊕ opad`; never mutated.
+    outer0: Sha256,
+    /// Working copy of `inner0` driven by the incremental `update` API.
     inner: Sha256,
-    outer: Sha256,
 }
 
 impl HmacSha256 {
@@ -35,11 +45,16 @@ impl HmacSha256 {
             opad[i] ^= key_block[i];
         }
 
-        let mut inner = Sha256::new();
-        inner.update(&ipad);
-        let mut outer = Sha256::new();
-        outer.update(&opad);
-        Self { inner, outer }
+        let mut inner0 = Sha256::new();
+        inner0.update(&ipad);
+        let mut outer0 = Sha256::new();
+        outer0.update(&opad);
+        let inner = inner0.clone();
+        Self {
+            inner0,
+            outer0,
+            inner,
+        }
     }
 
     /// Absorb message data.
@@ -48,17 +63,36 @@ impl HmacSha256 {
     }
 
     /// Finish and return the 32-byte MAC.
-    pub fn finalize(mut self) -> [u8; SHA256_OUTPUT_SIZE] {
+    pub fn finalize(self) -> [u8; SHA256_OUTPUT_SIZE] {
         let inner_digest = self.inner.finalize();
-        self.outer.update(&inner_digest);
-        self.outer.finalize()
+        let mut outer = self.outer0;
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// MAC a complete message without consuming (or disturbing) this
+    /// instance: the precomputed key states are cloned, so repeated MACs
+    /// under the same key skip the key-block hashing entirely.
+    pub fn mac_with(&self, data: &[u8]) -> [u8; SHA256_OUTPUT_SIZE] {
+        let mut inner = self.inner0.clone();
+        inner.update(data);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer0.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// [`HmacSha256::derive_u64`] against the precomputed key state.
+    pub fn derive_u64_with(&self, data: &[u8]) -> u64 {
+        let mac = self.mac_with(data);
+        u64::from_be_bytes([
+            mac[0], mac[1], mac[2], mac[3], mac[4], mac[5], mac[6], mac[7],
+        ])
     }
 
     /// One-shot HMAC of `data` under `key`.
     pub fn mac(key: &[u8], data: &[u8]) -> [u8; SHA256_OUTPUT_SIZE] {
-        let mut h = Self::new(key);
-        h.update(data);
-        h.finalize()
+        Self::new(key).mac_with(data)
     }
 
     /// Derive a 64-bit value from `key` and `data`; convenience helper used to
@@ -111,6 +145,25 @@ mod tests {
     }
 
     #[test]
+    fn rfc4231_test_case_4() {
+        let key: Vec<u8> = (0x01..=0x19).collect();
+        let data = [0xcdu8; 50];
+        let mac = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&mac),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_5_truncated() {
+        // RFC 4231 specifies the output truncated to 128 bits for this case.
+        let key = [0x0cu8; 20];
+        let mac = HmacSha256::mac(&key, b"Test With Truncation");
+        assert_eq!(hex(&mac[..16]), "a3b6167473100ee06e0c796c2955552b");
+    }
+
+    #[test]
     fn rfc4231_test_case_6_long_key() {
         let key = [0xaau8; 131];
         let mac = HmacSha256::mac(
@@ -121,6 +174,33 @@ mod tests {
             hex(&mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    #[test]
+    fn rfc4231_test_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let mac = HmacSha256::mac(
+            &key,
+            b"This is a test using a larger than block-size key and a larger than \
+              block-size data. The key needs to be hashed before being used by the \
+              HMAC algorithm.",
+        );
+        assert_eq!(
+            hex(&mac),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn mac_with_reuses_key_state() {
+        let keyed = HmacSha256::new(b"reusable key");
+        for msg in [b"first".as_slice(), b"second", b"", b"first"] {
+            assert_eq!(keyed.mac_with(msg), HmacSha256::mac(b"reusable key", msg));
+            assert_eq!(
+                keyed.derive_u64_with(msg),
+                HmacSha256::derive_u64(b"reusable key", msg)
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,10 @@
-//! Fixed-size key wrappers with derivation helpers.
+//! Fixed-size key wrappers with derivation helpers, and a small cache of
+//! expanded AES key schedules for hot paths that repeatedly seal/open blocks
+//! under the same handful of keys.
 
+use std::sync::{Arc, Mutex};
+
+use crate::aes::Aes256;
 use crate::hmac::HmacSha256;
 use crate::sha256::sha256;
 
@@ -93,6 +98,76 @@ impl Key256 {
     }
 }
 
+/// A small most-recently-used cache of expanded [`Aes256`] key schedules.
+///
+/// Every sealed-block operation needs the key schedule of its [`Key256`];
+/// without a cache the schedule is re-expanded on every block touch even
+/// though an agent cycles through a handful of keys (the global volume key,
+/// or a few per-file content/header keys). The cache hands out shared
+/// [`Arc`] handles, so a schedule can be used concurrently while newer keys
+/// rotate older ones out.
+pub struct AesScheduleCache {
+    /// Most-recently-used first.
+    entries: Mutex<Vec<(Key256, Arc<Aes256>)>>,
+    capacity: usize,
+}
+
+impl AesScheduleCache {
+    /// Create a cache holding at most `capacity` expanded schedules.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        Self {
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// The expanded cipher for `key`, expanding and caching it on first use.
+    pub fn get(&self, key: &Key256) -> Arc<Aes256> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            let entry = entries.remove(pos);
+            let cipher = entry.1.clone();
+            entries.insert(0, entry);
+            return cipher;
+        }
+        let cipher = Arc::new(Aes256::new(&key.0));
+        if entries.len() == self.capacity {
+            entries.pop();
+        }
+        entries.insert(0, (*key, cipher.clone()));
+        cipher
+    }
+
+    /// Number of schedules currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for AesScheduleCache {
+    /// A 16-entry cache: ample for one agent's working set (global key plus
+    /// the header/content keys of the files it touches between evictions).
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl core::fmt::Debug for AesScheduleCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print cached key material.
+        f.debug_struct("AesScheduleCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
 impl core::fmt::Debug for Key128 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Keys are never printed.
@@ -145,6 +220,41 @@ mod tests {
         assert_ne!(header, fak);
         // Deterministic.
         assert_eq!(header, fak.derive("header"));
+    }
+
+    #[test]
+    fn schedule_cache_reuses_and_evicts() {
+        use crate::{BlockCipher, CbcCipher};
+
+        let cache = AesScheduleCache::new(2);
+        let k1 = Key256::from_passphrase("one");
+        let k2 = Key256::from_passphrase("two");
+        let k3 = Key256::from_passphrase("three");
+
+        let first = cache.get(&k1);
+        assert!(Arc::ptr_eq(&first, &cache.get(&k1)), "hit returns same Arc");
+        assert_eq!(cache.len(), 1);
+
+        cache.get(&k2);
+        cache.get(&k3); // evicts k1 (capacity 2, LRU)
+        assert_eq!(cache.len(), 2);
+        assert!(
+            !Arc::ptr_eq(&first, &cache.get(&k1)),
+            "evicted key is re-expanded"
+        );
+
+        // A cached schedule encrypts identically to a fresh one, including
+        // through the CBC wrapper via the blanket Arc impl.
+        let mut via_cache = [0x42u8; 16];
+        cache.get(&k1).encrypt_block(&mut via_cache);
+        let mut fresh = [0x42u8; 16];
+        crate::Aes256::new(k1.as_bytes()).encrypt_block(&mut fresh);
+        assert_eq!(via_cache, fresh);
+
+        let cbc = CbcCipher::new(cache.get(&k1));
+        let data = vec![7u8; 64];
+        let sealed = cbc.encrypt(&[1u8; 16], &data).unwrap();
+        assert_eq!(cbc.decrypt(&[1u8; 16], &sealed).unwrap(), data);
     }
 
     #[test]

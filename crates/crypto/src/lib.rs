@@ -9,7 +9,10 @@
 //!
 //! This crate therefore provides, implemented from scratch in safe Rust:
 //!
-//! * [`Aes128`] / [`Aes256`] — the FIPS-197 block cipher (encrypt and decrypt).
+//! * [`Aes128`] / [`Aes256`] — the FIPS-197 block cipher (encrypt and
+//!   decrypt), implemented with compile-time fused T-tables and word-oriented
+//!   state; the original byte-oriented implementation survives as the
+//!   [`reference`] module that property tests compare against.
 //! * [`CbcCipher`] — CBC mode over whole 16-byte blocks, exactly the
 //!   `IV || data field` layout that Section 4.1.1 places in every storage block.
 //! * [`Sha256`] — FIPS 180-2 SHA-256.
@@ -34,11 +37,12 @@ mod hmac;
 mod keys;
 mod sha256;
 
+pub use aes::reference;
 pub use aes::{Aes128, Aes256, BlockCipher, AES_BLOCK_SIZE};
 pub use cbc::{CbcCipher, CbcError};
 pub use drbg::HashDrbg;
 pub use hmac::HmacSha256;
-pub use keys::{Key128, Key256, KeyError};
+pub use keys::{AesScheduleCache, Key128, Key256, KeyError};
 pub use sha256::{sha256, Sha256, SHA256_OUTPUT_SIZE};
 
 /// Errors produced by this crate.

@@ -16,10 +16,19 @@
 //! block read, which is the "1 index I/O per level" the paper's `2k`
 //! retrieving cost assumes.
 
+use std::sync::OnceLock;
+
 use stegfs_blockdev::{BlockDevice, BlockId};
 use stegfs_crypto::HmacSha256;
 
 use crate::error::ObliviousError;
+
+/// The index's fixed HMAC key state, padded and hashed exactly once; every
+/// keyed-hash call afterwards reuses it instead of re-absorbing the key.
+fn index_hmac() -> &'static HmacSha256 {
+    static KEYED: OnceLock<HmacSha256> = OnceLock::new();
+    KEYED.get_or_init(|| HmacSha256::new(b"stegfs-oblivious-index"))
+}
 
 /// Bytes per index entry: keyed id hash (8) + slot (8).
 const ENTRY_SIZE: usize = 16;
@@ -54,7 +63,7 @@ impl HashIndexRegion {
         let mut msg = [0u8; 16];
         msg[..8].copy_from_slice(&nonce.to_le_bytes());
         msg[8..].copy_from_slice(&id.to_le_bytes());
-        HmacSha256::derive_u64(b"stegfs-oblivious-index", &msg)
+        index_hmac().derive_u64_with(&msg)
     }
 
     fn bucket_of(&self, hash: u64) -> u64 {

@@ -16,15 +16,21 @@
 //! snapshot-diffing attacker cannot tell it apart from a genuine data update.
 
 use stegfs_blockdev::{BlockDevice, BlockId};
-use stegfs_crypto::{Aes256, CbcCipher, HashDrbg, Key256};
+use stegfs_crypto::{AesScheduleCache, CbcCipher, HashDrbg, Key256};
 
 use crate::error::FsError;
 use crate::layout::IV_SIZE;
 
 /// Seals plaintext data fields into `IV || ciphertext` physical blocks and
 /// opens them again.
+///
+/// The codec keeps a small cache of expanded AES key schedules: agents seal
+/// and reseal thousands of blocks under a handful of keys (the global volume
+/// key, or a few per-file header/content keys), so re-running the key
+/// expansion per block would dominate the cipher cost.
 pub struct BlockCodec {
     block_size: usize,
+    schedules: AesScheduleCache,
 }
 
 impl BlockCodec {
@@ -34,7 +40,10 @@ impl BlockCodec {
             block_size > IV_SIZE && (block_size - IV_SIZE) % 16 == 0,
             "block size must leave a 16-byte-aligned data field"
         );
-        Self { block_size }
+        Self {
+            block_size,
+            schedules: AesScheduleCache::default(),
+        }
     }
 
     /// Physical block size in bytes.
@@ -68,7 +77,7 @@ impl BlockCodec {
         rng.fill_bytes(&mut iv);
         block[..IV_SIZE].copy_from_slice(&iv);
         block[IV_SIZE..IV_SIZE + plaintext.len()].copy_from_slice(plaintext);
-        let cbc = CbcCipher::new(Aes256::new(key.as_bytes()));
+        let cbc = CbcCipher::new(self.schedules.get(key));
         cbc.encrypt_in_place(&iv, &mut block[IV_SIZE..])?;
         Ok(block)
     }
@@ -86,7 +95,7 @@ impl BlockCodec {
         let mut iv = [0u8; IV_SIZE];
         iv.copy_from_slice(&physical[..IV_SIZE]);
         let mut data = physical[IV_SIZE..].to_vec();
-        let cbc = CbcCipher::new(Aes256::new(key.as_bytes()));
+        let cbc = CbcCipher::new(self.schedules.get(key));
         cbc.decrypt_in_place(&iv, &mut data)?;
         Ok(data)
     }

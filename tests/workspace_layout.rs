@@ -80,6 +80,7 @@ fn expected_figure_and_table_bins_exist() {
         "table4",
         "security_analysis",
         "overhead_model",
+        "crypto_baseline",
     ] {
         assert!(
             on_disk.contains(required),
