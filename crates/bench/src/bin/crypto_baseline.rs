@@ -13,48 +13,18 @@
 //! JSON schema is identical, with `"quick": true` recorded so trajectory
 //! tooling can separate the two.
 
-use std::time::Instant;
-
 use stegfs_base::BlockCodec;
 use stegfs_base::StegFsConfig;
-use stegfs_bench::harness::{pick, quick_mode};
-use stegfs_bench::report::print_table;
+use stegfs_bench::harness::{pick, quick_mode, timed};
+use stegfs_bench::report::{print_metrics_table, render_bench_json, BenchMetric as Metric};
 use stegfs_blockdev::MemDevice;
 use stegfs_crypto::{
     reference, Aes128, Aes256, BlockCipher, CbcCipher, HashDrbg, HmacSha256, Key256, Sha256,
 };
 use steghide::{AgentConfig, NonVolatileAgent};
 
-/// One measured throughput number.
-struct Metric {
-    name: &'static str,
-    unit: &'static str,
-    value: f64,
-    detail: String,
-}
-
 fn mb(bytes: u64) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
-}
-
-/// Time `op` run `iters` times and return elapsed seconds. One untimed
-/// warmup pass touches code and tables, then the fastest of three passes is
-/// reported — on a shared single-CPU host, scheduler steal time otherwise
-/// dominates the variance.
-fn timed(iters: u64, mut op: impl FnMut()) -> f64 {
-    let per_pass = (iters / 3).max(1);
-    for _ in 0..per_pass / 4 {
-        op();
-    }
-    let mut best = f64::MAX;
-    for _ in 0..3 {
-        let t0 = Instant::now();
-        for _ in 0..per_pass {
-            op();
-        }
-        best = best.min(t0.elapsed().as_secs_f64() / per_pass as f64);
-    }
-    (best * iters as f64).max(1e-9)
 }
 
 /// Single-block throughput with static dispatch, the same shape `CbcCipher`
@@ -98,59 +68,59 @@ fn main() {
         single_block_mbps(&reference::Aes256::new(key.as_bytes()), ref_iters);
     let speedup_enc = aes256_enc / ref256_enc;
     let speedup_dec = aes256_dec / ref256_dec;
-    metrics.push(Metric {
-        name: "aes256_ecb_encrypt_ttable",
-        unit: "MB/s",
-        value: aes256_enc,
-        detail: format!("{block_iters} single blocks"),
-    });
-    metrics.push(Metric {
-        name: "aes256_ecb_decrypt_ttable",
-        unit: "MB/s",
-        value: aes256_dec,
-        detail: format!("{block_iters} single blocks"),
-    });
-    metrics.push(Metric {
-        name: "aes128_ecb_encrypt_ttable",
-        unit: "MB/s",
-        value: aes128_enc,
-        detail: format!("{block_iters} single blocks"),
-    });
-    metrics.push(Metric {
-        name: "aes256_ecb_encrypt_reference",
-        unit: "MB/s",
-        value: ref256_enc,
-        detail: format!("{ref_iters} single blocks, byte-oriented"),
-    });
-    metrics.push(Metric {
-        name: "aes256_ecb_decrypt_reference",
-        unit: "MB/s",
-        value: ref256_dec,
-        detail: format!("{ref_iters} single blocks, byte-oriented"),
-    });
-    metrics.push(Metric {
-        name: "aes256_ttable_speedup_encrypt",
-        unit: "x",
-        value: speedup_enc,
-        detail: "ttable MB/s / reference MB/s".to_string(),
-    });
-    metrics.push(Metric {
-        name: "aes256_ttable_speedup_decrypt",
-        unit: "x",
-        value: speedup_dec,
-        detail: "ttable MB/s / reference MB/s".to_string(),
-    });
+    metrics.push(Metric::new(
+        "aes256_ecb_encrypt_ttable",
+        "MB/s",
+        aes256_enc,
+        format!("{block_iters} single blocks"),
+    ));
+    metrics.push(Metric::new(
+        "aes256_ecb_decrypt_ttable",
+        "MB/s",
+        aes256_dec,
+        format!("{block_iters} single blocks"),
+    ));
+    metrics.push(Metric::new(
+        "aes128_ecb_encrypt_ttable",
+        "MB/s",
+        aes128_enc,
+        format!("{block_iters} single blocks"),
+    ));
+    metrics.push(Metric::new(
+        "aes256_ecb_encrypt_reference",
+        "MB/s",
+        ref256_enc,
+        format!("{ref_iters} single blocks, byte-oriented"),
+    ));
+    metrics.push(Metric::new(
+        "aes256_ecb_decrypt_reference",
+        "MB/s",
+        ref256_dec,
+        format!("{ref_iters} single blocks, byte-oriented"),
+    ));
+    metrics.push(Metric::new(
+        "aes256_ttable_speedup_encrypt",
+        "x",
+        speedup_enc,
+        "ttable MB/s / reference MB/s".to_string(),
+    ));
+    metrics.push(Metric::new(
+        "aes256_ttable_speedup_decrypt",
+        "x",
+        speedup_dec,
+        "ttable MB/s / reference MB/s".to_string(),
+    ));
     // The reproduction's per-block unit of work is the reseal round trip
     // (decrypt + re-encrypt), so the harmonic-combined throughput ratio is
     // the speedup every dummy update actually sees.
     let roundtrip = |enc: f64, dec: f64| 1.0 / (1.0 / enc + 1.0 / dec);
     let speedup_rt = roundtrip(aes256_enc, aes256_dec) / roundtrip(ref256_enc, ref256_dec);
-    metrics.push(Metric {
-        name: "aes256_ttable_speedup_roundtrip",
-        unit: "x",
-        value: speedup_rt,
-        detail: "decrypt+encrypt round trip (the reseal unit of work)".to_string(),
-    });
+    metrics.push(Metric::new(
+        "aes256_ttable_speedup_roundtrip",
+        "x",
+        speedup_rt,
+        "decrypt+encrypt round trip (the reseal unit of work)".to_string(),
+    ));
 
     // --- CBC over the codec's 4080-byte data field. ---
     let cbc = CbcCipher::new(Aes256::new(key.as_bytes()));
@@ -163,18 +133,18 @@ fn main() {
     let dec = timed(cbc_iters, || {
         cbc.decrypt_in_place(&iv, &mut buf).expect("aligned");
     });
-    metrics.push(Metric {
-        name: "aes256_cbc_encrypt",
-        unit: "MB/s",
-        value: mb(cbc_iters * 4080) / enc,
-        detail: format!("{cbc_iters} x 4080 B in place"),
-    });
-    metrics.push(Metric {
-        name: "aes256_cbc_decrypt",
-        unit: "MB/s",
-        value: mb(cbc_iters * 4080) / dec,
-        detail: format!("{cbc_iters} x 4080 B in place"),
-    });
+    metrics.push(Metric::new(
+        "aes256_cbc_encrypt",
+        "MB/s",
+        mb(cbc_iters * 4080) / enc,
+        format!("{cbc_iters} x 4080 B in place"),
+    ));
+    metrics.push(Metric::new(
+        "aes256_cbc_decrypt",
+        "MB/s",
+        mb(cbc_iters * 4080) / dec,
+        format!("{cbc_iters} x 4080 B in place"),
+    ));
 
     // --- SHA-256 / HMAC-SHA-256. ---
     let data = vec![0x3Cu8; 4096];
@@ -184,33 +154,33 @@ fn main() {
         h.update(&data);
         std::hint::black_box(h.finalize());
     });
-    metrics.push(Metric {
-        name: "sha256",
-        unit: "MB/s",
-        value: mb(hash_iters * 4096) / sha,
-        detail: format!("{hash_iters} x 4096 B"),
-    });
+    metrics.push(Metric::new(
+        "sha256",
+        "MB/s",
+        mb(hash_iters * 4096) / sha,
+        format!("{hash_iters} x 4096 B"),
+    ));
     let keyed = HmacSha256::new(key.as_bytes());
     let hmac = timed(hash_iters, || {
         std::hint::black_box(keyed.mac_with(&data));
     });
-    metrics.push(Metric {
-        name: "hmac_sha256",
-        unit: "MB/s",
-        value: mb(hash_iters * 4096) / hmac,
-        detail: format!("{hash_iters} x 4096 B, precomputed key state"),
-    });
+    metrics.push(Metric::new(
+        "hmac_sha256",
+        "MB/s",
+        mb(hash_iters * 4096) / hmac,
+        format!("{hash_iters} x 4096 B, precomputed key state"),
+    ));
     let derive_iters = pick(200_000u64, 20_000);
     let msg = [0x11u8; 16];
     let derive = timed(derive_iters, || {
         std::hint::black_box(keyed.derive_u64_with(&msg));
     });
-    metrics.push(Metric {
-        name: "hmac_derive_u64",
-        unit: "ops/s",
-        value: derive_iters as f64 / derive,
-        detail: "16 B messages (block-location derivation shape)".to_string(),
-    });
+    metrics.push(Metric::new(
+        "hmac_derive_u64",
+        "ops/s",
+        derive_iters as f64 / derive,
+        "16 B messages (block-location derivation shape)".to_string(),
+    ));
 
     // --- The sealed-block codec (IV refresh + CBC both ways on reseal). ---
     let codec = BlockCodec::new(4096);
@@ -223,12 +193,12 @@ fn main() {
     let reseal = timed(reseal_iters, || {
         codec.reseal(&device, 0, &key, &mut rng).expect("reseal");
     });
-    metrics.push(Metric {
-        name: "codec_reseal",
-        unit: "blocks/s",
-        value: reseal_iters as f64 / reseal,
-        detail: "4 KB dummy update: open + fresh IV + seal".to_string(),
-    });
+    metrics.push(Metric::new(
+        "codec_reseal",
+        "blocks/s",
+        reseal_iters as f64 / reseal,
+        "4 KB dummy update: open + fresh IV + seal".to_string(),
+    ));
 
     // --- The agent's Figure 6 update path, end to end in memory. ---
     let agent_updates = pick(2_000u64, 200);
@@ -255,32 +225,20 @@ fn main() {
             .update_range_fill(file, block, 1, 0xAB)
             .expect("update");
     });
-    metrics.push(Metric {
-        name: "agent_update_path",
-        unit: "blocks/s",
-        value: agent_updates as f64 / update,
-        detail: "single-block Figure 6 updates on an in-memory volume".to_string(),
-    });
+    metrics.push(Metric::new(
+        "agent_update_path",
+        "blocks/s",
+        agent_updates as f64 / update,
+        "single-block Figure 6 updates on an in-memory volume".to_string(),
+    ));
 
     // --- Report. ---
-    let rows: Vec<Vec<String>> = metrics
-        .iter()
-        .map(|m| {
-            vec![
-                m.name.to_string(),
-                format!("{:.1}", m.value),
-                m.unit.to_string(),
-                m.detail.clone(),
-            ]
-        })
-        .collect();
-    print_table(
+    print_metrics_table(
         &format!(
             "crypto_baseline (wall-clock{}): cipher and update-path throughput",
             if quick { ", quick mode" } else { "" }
         ),
-        &["metric", "value", "unit", "detail"],
-        &rows,
+        &metrics,
     );
     println!(
         "\nT-table vs reference single-block speedup: {speedup_enc:.1}x encrypt, \
@@ -288,47 +246,10 @@ fn main() {
     );
 
     let path = "BENCH_crypto.json";
-    std::fs::write(path, render_json(quick, &metrics)).expect("write BENCH_crypto.json");
+    std::fs::write(
+        path,
+        render_bench_json("stegfs-crypto-baseline/v1", quick, &metrics),
+    )
+    .expect("write BENCH_crypto.json");
     println!("wrote {path} ({} metrics)", metrics.len());
-}
-
-/// Minimal JSON string escaping: quotes, backslashes and control characters.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Hand-rolled JSON (the workspace is offline and dependency-free); values
-/// are guaranteed finite before formatting and strings are escaped.
-fn render_json(quick: bool, metrics: &[Metric]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"stegfs-crypto-baseline/v1\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"metrics\": [\n");
-    for (i, m) in metrics.iter().enumerate() {
-        assert!(
-            m.value.is_finite() && m.value > 0.0,
-            "metric {} must be positive and finite, got {}",
-            m.name,
-            m.value
-        );
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"value\": {:.3}, \"detail\": \"{}\"}}{}\n",
-            json_escape(m.name),
-            json_escape(m.unit),
-            m.value,
-            json_escape(&m.detail),
-            if i + 1 == metrics.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
 }

@@ -1,4 +1,92 @@
-//! Plain-text table output shared by all experiment binaries.
+//! Plain-text table output and the JSON trajectory-report format shared by
+//! all experiment binaries.
+
+/// One measured value in a baseline trajectory report (`BENCH_*.json`).
+pub struct BenchMetric {
+    /// Machine-readable metric name, stable across runs.
+    pub name: String,
+    /// Unit label: `MB/s`, `blocks/s`, `ops/s`, `us`, `x` (ratio), …
+    pub unit: &'static str,
+    /// The measured value; must be positive and finite.
+    pub value: f64,
+    /// Human-readable context (iteration counts, geometry).
+    pub detail: String,
+}
+
+impl BenchMetric {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        unit: &'static str,
+        value: f64,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            unit,
+            value,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Minimal JSON string escaping: quotes, backslashes and control characters.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a `BENCH_*.json` trajectory report. Hand-rolled JSON (the workspace
+/// is offline and dependency-free); every value is asserted finite and
+/// positive before formatting and strings are escaped.
+pub fn render_bench_json(schema: &str, quick: bool, metrics: &[BenchMetric]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", json_escape(schema)));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        assert!(
+            m.value.is_finite() && m.value > 0.0,
+            "metric {} must be positive and finite, got {}",
+            m.name,
+            m.value
+        );
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"value\": {:.3}, \"detail\": \"{}\"}}{}\n",
+            json_escape(&m.name),
+            json_escape(m.unit),
+            m.value,
+            json_escape(&m.detail),
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Print the standard metric table for a trajectory report.
+pub fn print_metrics_table(title: &str, metrics: &[BenchMetric]) {
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                format!("{:.1}", m.value),
+                m.unit.to_string(),
+                m.detail.clone(),
+            ]
+        })
+        .collect();
+    print_table(title, &["metric", "value", "unit", "detail"], &rows);
+}
 
 /// Print a titled, column-aligned table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -81,6 +169,29 @@ mod tests {
         assert_eq!(fmt_secs(2_500_000.0), "2.500");
         assert_eq!(fmt_ms(2_500.0), "2.5");
         assert_eq!(fmt_pct(0.256), "25.6%");
+    }
+
+    #[test]
+    fn bench_json_escapes_and_terminates() {
+        let metrics = vec![
+            BenchMetric::new("a_metric", "MB/s", 12.5, "detail with \"quotes\""),
+            BenchMetric::new("b_metric", "x", 1.75, "plain"),
+        ];
+        let json = render_bench_json("test-schema/v1", true, &metrics);
+        assert!(json.contains("\"schema\": \"test-schema/v1\""));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"value\": 12.500"));
+        // Exactly one trailing comma between the two entries.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bench_json_rejects_non_finite_values() {
+        let metrics = vec![BenchMetric::new("bad", "x", f64::NAN, "")];
+        render_bench_json("test/v1", false, &metrics);
     }
 
     #[test]

@@ -87,6 +87,38 @@ pub trait BlockDevice: Send + Sync {
     /// Write `buf` (whose length must equal the block size) to block `block`.
     fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError>;
 
+    /// Read `buf.len() / block_size` consecutive blocks starting at `start`
+    /// into `buf` (whose length must be a whole number of blocks).
+    ///
+    /// This is the streaming primitive behind the oblivious store's level
+    /// sweeps and the external merge sort: one ranged request instead of N
+    /// scalar ones, which the simulated disk bills as a single seek plus N
+    /// transfers. The default implementation delegates to [`read_block`] so
+    /// every device stays correct; devices with a cheaper contiguous path
+    /// (files, the timing model) override it.
+    ///
+    /// [`read_block`]: BlockDevice::read_block
+    fn read_blocks(&self, start: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.check_range_access(start, buf.len())?;
+        for (i, chunk) in buf.chunks_exact_mut(self.block_size()).enumerate() {
+            self.read_block(start + i as u64, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Write `buf.len() / block_size` consecutive blocks starting at `start`
+    /// from `buf` (whose length must be a whole number of blocks).
+    ///
+    /// Counterpart of [`read_blocks`](BlockDevice::read_blocks); the default
+    /// implementation delegates to [`write_block`](BlockDevice::write_block).
+    fn write_blocks(&self, start: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        self.check_range_access(start, buf.len())?;
+        for (i, chunk) in buf.chunks_exact(self.block_size()).enumerate() {
+            self.write_block(start + i as u64, chunk)?;
+        }
+        Ok(())
+    }
+
     /// Flush any caches to stable storage. Defaults to a no-op.
     fn sync(&self) -> Result<(), DeviceError> {
         Ok(())
@@ -112,6 +144,27 @@ pub trait BlockDevice: Send + Sync {
             return Err(DeviceError::BadBufferSize {
                 expected: self.block_size(),
                 got: buf_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validate a ranged request: `buf_len` must be a non-empty whole number
+    /// of blocks and the range `start..start + buf_len / block_size` must lie
+    /// on the device. Helper for implementors of the batched operations.
+    fn check_range_access(&self, start: BlockId, buf_len: usize) -> Result<(), DeviceError> {
+        let bs = self.block_size();
+        if buf_len == 0 || buf_len % bs != 0 {
+            return Err(DeviceError::BadBufferSize {
+                expected: bs,
+                got: buf_len,
+            });
+        }
+        let count = (buf_len / bs) as u64;
+        if start >= self.num_blocks() || count > self.num_blocks() - start {
+            return Err(DeviceError::OutOfRange {
+                block: start + count - 1,
+                num_blocks: self.num_blocks(),
             });
         }
         Ok(())
@@ -150,6 +203,12 @@ impl<T: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<T> {
     fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
         (**self).write_block(block, buf)
     }
+    fn read_blocks(&self, start: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        (**self).read_blocks(start, buf)
+    }
+    fn write_blocks(&self, start: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_blocks(start, buf)
+    }
     fn sync(&self) -> Result<(), DeviceError> {
         (**self).sync()
     }
@@ -168,8 +227,56 @@ impl<T: BlockDevice + ?Sized> BlockDevice for &T {
     fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
         (**self).write_block(block, buf)
     }
+    fn read_blocks(&self, start: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        (**self).read_blocks(start, buf)
+    }
+    fn write_blocks(&self, start: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_blocks(start, buf)
+    }
     fn sync(&self) -> Result<(), DeviceError> {
         (**self).sync()
+    }
+}
+
+/// A wrapper that hides the wrapped device's batched implementations, forcing
+/// every ranged request through the default scalar loop.
+///
+/// This is the "before" side of the batched-I/O comparison: wrapping a
+/// [`sim::SimDevice`](crate::sim::SimDevice) in a `ScalarDevice` makes the
+/// timing model bill a level sweep as N independent requests again, which is
+/// what the `oblivious_baseline` bench and the equivalence tests measure
+/// against.
+pub struct ScalarDevice<D>(pub D);
+
+impl<D: BlockDevice> ScalarDevice<D> {
+    /// Wrap `inner`.
+    pub fn new(inner: D) -> Self {
+        Self(inner)
+    }
+
+    /// Access the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.0
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for ScalarDevice<D> {
+    fn num_blocks(&self) -> u64 {
+        self.0.num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        self.0.block_size()
+    }
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.0.read_block(block, buf)
+    }
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        self.0.write_block(block, buf)
+    }
+    // read_blocks / write_blocks deliberately NOT forwarded: the trait
+    // defaults re-express them as scalar loops against the inner device.
+    fn sync(&self) -> Result<(), DeviceError> {
+        self.0.sync()
     }
 }
 
@@ -209,6 +316,48 @@ mod tests {
             Err(DeviceError::BadBufferSize { .. })
         ));
         assert!(dev.check_access(3, 512).is_ok());
+    }
+
+    #[test]
+    fn check_range_access_rejects_bad_ranges() {
+        let dev = MemDevice::new(8, 512);
+        assert!(dev.check_range_access(2, 3 * 512).is_ok());
+        assert!(dev.check_range_access(0, 8 * 512).is_ok());
+        assert!(matches!(
+            dev.check_range_access(6, 3 * 512),
+            Err(DeviceError::OutOfRange { block: 8, .. })
+        ));
+        assert!(matches!(
+            dev.check_range_access(8, 512),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.check_range_access(0, 0),
+            Err(DeviceError::BadBufferSize { .. })
+        ));
+        assert!(matches!(
+            dev.check_range_access(0, 700),
+            Err(DeviceError::BadBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_device_round_trips_through_default_impls() {
+        let dev = ScalarDevice::new(MemDevice::new(8, 512));
+        let data: Vec<u8> = (0..3 * 512).map(|i| (i % 251) as u8).collect();
+        dev.write_blocks(2, &data).unwrap();
+        let mut back = vec![0u8; 3 * 512];
+        dev.read_blocks(2, &mut back).unwrap();
+        assert_eq!(back, data);
+        // The inner device really received the writes.
+        assert_eq!(dev.inner().read_block_vec(3).unwrap(), data[512..1024]);
+        // Blocks outside the range stay untouched.
+        assert!(dev
+            .inner()
+            .read_block_vec(5)
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0));
     }
 
     #[test]

@@ -84,6 +84,22 @@ impl BlockDevice for FileDevice {
         Ok(())
     }
 
+    fn read_blocks(&self, start: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.check_range_access(start, buf.len())?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(start * self.block_size as u64))?;
+        file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_blocks(&self, start: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        self.check_range_access(start, buf.len())?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(start * self.block_size as u64))?;
+        file.write_all(buf)?;
+        Ok(())
+    }
+
     fn sync(&self) -> Result<(), DeviceError> {
         self.file.lock().sync_all()?;
         Ok(())
@@ -130,6 +146,21 @@ mod tests {
             assert_eq!(dev.num_blocks(), 4);
             assert!(dev.read_block_vec(1).unwrap().iter().all(|&b| b == 0x11));
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn batched_round_trip_is_one_contiguous_region() {
+        let path = temp_path("batched");
+        let dev = FileDevice::create(&path, 8, 512).unwrap();
+        let data: Vec<u8> = (0..3 * 512).map(|i| (i % 249) as u8).collect();
+        dev.write_blocks(2, &data).unwrap();
+        let mut back = vec![0u8; 3 * 512];
+        dev.read_blocks(2, &mut back).unwrap();
+        assert_eq!(back, data);
+        // Scalar reads see exactly the batched bytes.
+        assert_eq!(dev.read_block_vec(3).unwrap(), data[512..1024]);
+        assert!(dev.read_blocks(7, &mut back).is_err());
         std::fs::remove_file(path).ok();
     }
 

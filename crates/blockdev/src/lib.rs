@@ -7,7 +7,13 @@
 //!
 //! The crate provides:
 //!
-//! * [`BlockDevice`] — the storage trait (`read_block` / `write_block`).
+//! * [`BlockDevice`] — the storage trait: scalar `read_block` / `write_block`
+//!   plus ranged `read_blocks` / `write_blocks` for contiguous sweeps (the
+//!   batched primitives the oblivious store's re-ordering pipeline streams
+//!   through).
+//! * [`ScalarDevice`] — wrapper that disables a device's batched paths,
+//!   re-expressing every ranged request as N scalar ones (the baseline side
+//!   of batched-I/O measurements).
 //! * [`MemDevice`] — in-memory backing store, used by tests, examples and the
 //!   benchmark harness.
 //! * [`FileDevice`] — file-backed store for persistence demos.
@@ -29,7 +35,7 @@ pub mod sim;
 mod stats;
 mod trace;
 
-pub use device::{BlockDevice, BlockDeviceExt, BlockId, DeviceError, DeviceGeometry};
+pub use device::{BlockDevice, BlockDeviceExt, BlockId, DeviceError, DeviceGeometry, ScalarDevice};
 pub use file::FileDevice;
 pub use mem::MemDevice;
 pub use stats::{IoCounters, IoStats};

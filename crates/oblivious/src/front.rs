@@ -8,11 +8,10 @@
 //! sequence of first-time fetches, interleaved with dummy reads, looks like a
 //! uniformly random process to an observer of the partition.
 
-use std::collections::HashSet;
-
 use stegfs_blockdev::{BlockDevice, BlockId};
 use stegfs_crypto::HashDrbg;
 
+use crate::det::DetHashSet;
 use crate::error::ObliviousError;
 use crate::store::ObliviousStore;
 
@@ -36,7 +35,7 @@ pub struct ObliviousReadFront<P, D, S> {
     steg_partition: P,
     store: ObliviousStore<D, S>,
     fetched: Vec<BlockId>,
-    fetched_set: HashSet<BlockId>,
+    fetched_set: DetHashSet<BlockId>,
     rng: HashDrbg,
     stats: FrontStats,
 }
@@ -53,7 +52,7 @@ where
             steg_partition,
             store,
             fetched: Vec::new(),
-            fetched_set: HashSet::new(),
+            fetched_set: DetHashSet::default(),
             rng: HashDrbg::new(&seed.to_be_bytes()),
             stats: FrontStats::default(),
         }
@@ -152,6 +151,7 @@ where
 mod tests {
     use super::*;
     use crate::config::ObliviousConfig;
+    use std::collections::HashSet;
     use stegfs_blockdev::{BlockDeviceExt, MemDevice, TracingDevice};
     use stegfs_crypto::Key256;
 

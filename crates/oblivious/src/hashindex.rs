@@ -71,9 +71,9 @@ impl HashIndexRegion {
     }
 
     /// Build (rebuild) the index for `entries` = `(id, slot)` pairs under a
-    /// fresh `nonce`, writing every bucket block sequentially. Returns the
-    /// number of blocks written (all of them — the whole region is rewritten
-    /// so the attacker learns nothing from which buckets changed).
+    /// fresh `nonce`, rewriting the whole region as ranged sequential writes.
+    /// Returns the number of blocks written (all of them — the attacker
+    /// learns nothing from which buckets changed).
     pub fn build<D: BlockDevice + ?Sized>(
         &self,
         device: &D,
@@ -99,16 +99,27 @@ impl HashIndexRegion {
             buckets[b].push((hash, slot));
         }
 
-        let mut block = vec![0u8; self.block_size];
-        for (i, bucket) in buckets.iter().enumerate() {
-            block.fill(0);
-            block[..2].copy_from_slice(&(bucket.len() as u16).to_le_bytes());
-            for (j, &(hash, slot)) in bucket.iter().enumerate() {
-                let at = BUCKET_HEADER + j * ENTRY_SIZE;
-                block[at..at + 8].copy_from_slice(&hash.to_le_bytes());
-                block[at + 8..at + 16].copy_from_slice(&slot.to_le_bytes());
+        let batch = crate::level::IO_BATCH_BLOCKS.min(self.num_blocks) as usize;
+        let mut staging = vec![0u8; batch * self.block_size];
+        let mut written: u64 = 0;
+        while written < self.num_blocks {
+            let n = (batch as u64).min(self.num_blocks - written) as usize;
+            let window = &mut staging[..n * self.block_size];
+            window.fill(0);
+            for (j, bucket) in buckets[written as usize..written as usize + n]
+                .iter()
+                .enumerate()
+            {
+                let block = &mut window[j * self.block_size..(j + 1) * self.block_size];
+                block[..2].copy_from_slice(&(bucket.len() as u16).to_le_bytes());
+                for (k, &(hash, slot)) in bucket.iter().enumerate() {
+                    let at = BUCKET_HEADER + k * ENTRY_SIZE;
+                    block[at..at + 8].copy_from_slice(&hash.to_le_bytes());
+                    block[at + 8..at + 16].copy_from_slice(&slot.to_le_bytes());
+                }
             }
-            device.write_block(self.offset + i as u64, &block)?;
+            device.write_blocks(self.offset + written, window)?;
+            written += n as u64;
         }
         Ok(self.num_blocks)
     }

@@ -29,11 +29,26 @@
 //! persistent StegFS partition (Figure 8(a)). The persistent partition is
 //! needed because the oblivious store shuffles blocks constantly and the
 //! agent cannot update headers of files whose owners are not logged in.
+//!
+//! Two implementation properties matter for the reproduction:
+//!
+//! * **batched maintenance I/O** — level sweeps, the external sort's run
+//!   spills/refills and index rebuilds move data through the ranged
+//!   `read_blocks`/`write_blocks` device operations, so on the simulated
+//!   disk they run at transfer speed (one positioning per batch) exactly as
+//!   the paper's sequential-sweep argument requires; cascade merges stream
+//!   the receiving level straight into the sort (upper copies win on
+//!   duplicate ids) instead of materializing both levels in agent memory;
+//! * **bit-for-bit determinism** — all agent-memory bookkeeping uses the
+//!   fixed-seed hashed containers of [`DetHashMap`]/[`DetHashSet`], so two
+//!   runs of any experiment consume the DRBG identically and produce
+//!   byte-identical output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod det;
 mod error;
 mod extsort;
 mod front;
@@ -43,6 +58,7 @@ mod stats;
 mod store;
 
 pub use config::ObliviousConfig;
+pub use det::{DetHashMap, DetHashSet, DetHasher};
 pub use error::ObliviousError;
 pub use extsort::{ExternalSorter, SortRecord};
 pub use front::ObliviousReadFront;

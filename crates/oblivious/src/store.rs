@@ -1,12 +1,11 @@
 //! The oblivious storage proper: Figure 8(b).
 
-use std::collections::{HashMap, HashSet};
-
 use stegfs_base::BlockCodec;
 use stegfs_blockdev::{sim::SimClock, BlockDevice};
 use stegfs_crypto::{HashDrbg, Key256};
 
 use crate::config::ObliviousConfig;
+use crate::det::{DetHashMap, DetHashSet};
 use crate::error::ObliviousError;
 use crate::extsort::ExternalSorter;
 use crate::level::{Level, MaintenanceIo};
@@ -25,8 +24,8 @@ pub struct ObliviousStore<D, S> {
     cfg: ObliviousConfig,
     levels: Vec<Level>,
     buffer: Vec<(u64, Vec<u8>)>,
-    buffer_index: HashMap<u64, usize>,
-    membership: HashSet<u64>,
+    buffer_index: DetHashMap<u64, usize>,
+    membership: DetHashSet<u64>,
     master_key: Key256,
     rng: HashDrbg,
     stats: ObliviousStats,
@@ -109,8 +108,8 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
             cfg,
             levels,
             buffer: Vec::new(),
-            buffer_index: HashMap::new(),
-            membership: HashSet::new(),
+            buffer_index: DetHashMap::default(),
+            membership: DetHashSet::default(),
             master_key,
             rng: HashDrbg::new(&seed.to_be_bytes()),
             stats: ObliviousStats::default(),
@@ -277,7 +276,10 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
 
     /// Flush the buffer into level 1, cascading full levels downwards and
     /// re-ordering every level that receives items — the `dump` procedure of
-    /// Figure 8(b).
+    /// Figure 8(b). The buffer merges into level 1 as one streaming pass
+    /// ([`Level::merge_reorder`]): buffer copies win on duplicate ids (they
+    /// are fresher) and the level's old contents flow straight from ranged
+    /// reads into the external sort without being materialized.
     fn flush_buffer(&mut self) -> Result<(), ObliviousError> {
         if self.buffer.is_empty() {
             return Ok(());
@@ -290,25 +292,20 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
             io = Self::merge_io(io, self.dump(0)?);
         }
 
-        // New level-1 contents: its current items plus the buffer (buffer
-        // copies win on duplicate ids — they are fresher).
-        let (existing, collect_io) = self.levels[0].collect_items(&self.device, &self.codec)?;
-        io = Self::merge_io(io, collect_io);
-        let mut merged: HashMap<u64, Vec<u8>> = existing.into_iter().collect();
-        for (id, payload) in self.buffer.drain(..) {
-            merged.insert(id, payload);
-        }
-        self.buffer_index.clear();
-
-        let items: Vec<(u64, Vec<u8>)> = merged.into_iter().collect();
-        let reorder_io = self.levels[0].reorder(
+        // The merge gets a copy and the buffer is cleared only on success:
+        // if the merge fails before its first write (a corrupt level slot
+        // surfacing mid-stream), the level rolls back and the buffered items
+        // stay readable from the buffer instead of being silently lost.
+        let reorder_io = self.levels[0].merge_reorder(
             &self.device,
             &self.codec,
             &self.sorter,
             &self.master_key,
             &mut self.rng,
-            items,
+            self.buffer.clone(),
         )?;
+        self.buffer.clear();
+        self.buffer_index.clear();
         io = Self::merge_io(io, reorder_io);
         self.stats.reorders += 1;
 
@@ -317,24 +314,23 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
         Ok(())
     }
 
-    /// Cascade: move level `li`'s items into level `li + 1` (re-ordering it),
-    /// then clear level `li`. The last level is simply re-ordered in place —
-    /// by construction it can hold every distinct block users may read.
+    /// Cascade: move level `li`'s items into level `li + 1` (re-ordering it,
+    /// with the upper copies winning on duplicate ids), then clear level
+    /// `li`. The last level is simply re-ordered in place — by construction
+    /// it can hold every distinct block users may read.
     fn dump(&mut self, li: usize) -> Result<MaintenanceIo, ObliviousError> {
         let mut io = MaintenanceIo::default();
         if li + 1 >= self.levels.len() {
             // Last level: re-order in place (deduplication already happened on
             // the way down, so this is only reached when the hierarchy is
             // genuinely at capacity).
-            let (items, collect_io) = self.levels[li].collect_items(&self.device, &self.codec)?;
-            io = Self::merge_io(io, collect_io);
-            let reorder_io = self.levels[li].reorder(
+            let reorder_io = self.levels[li].merge_reorder(
                 &self.device,
                 &self.codec,
                 &self.sorter,
                 &self.master_key,
                 &mut self.rng,
-                items,
+                Vec::new(),
             )?;
             self.stats.reorders += 1;
             return Ok(Self::merge_io(io, reorder_io));
@@ -345,28 +341,17 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
             io = Self::merge_io(io, self.dump(li + 1)?);
         }
 
-        let (lower_items, lower_io) =
-            self.levels[li + 1].collect_items(&self.device, &self.codec)?;
-        io = Self::merge_io(io, lower_io);
+        // Only the (strictly smaller) upper level is held in memory; the
+        // receiving level streams through the merge.
         let (upper_items, upper_io) = self.levels[li].collect_items(&self.device, &self.codec)?;
         io = Self::merge_io(io, upper_io);
-
-        // Duplicates: the upper (more recently written) copy wins.
-        let mut merged: HashMap<u64, Vec<u8>> = lower_items.into_iter().collect();
-        for (id, payload) in upper_items {
-            merged.insert(id, payload);
-        }
-        if merged.len() as u64 > self.levels[li + 1].capacity {
-            return Err(ObliviousError::CapacityExhausted);
-        }
-        let items: Vec<(u64, Vec<u8>)> = merged.into_iter().collect();
-        let reorder_io = self.levels[li + 1].reorder(
+        let reorder_io = self.levels[li + 1].merge_reorder(
             &self.device,
             &self.codec,
             &self.sorter,
             &self.master_key,
             &mut self.rng,
-            items,
+            upper_items,
         )?;
         io = Self::merge_io(io, reorder_io);
         self.stats.reorders += 1;
@@ -380,11 +365,33 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
         a.writes += b.writes;
         a
     }
+
+    /// Audit the agent-memory bookkeeping: `membership` must equal the union
+    /// of the buffered ids and every level manifest (items are cached
+    /// forever, so nothing may leak in either direction across flushes and
+    /// cascade re-orders), and `buffer_index` must mirror the buffer exactly.
+    /// Exposed for tests and the bench harness.
+    pub fn membership_is_consistent(&self) -> bool {
+        let buffer_indexed = self.buffer_index.len() == self.buffer.len()
+            && self
+                .buffer
+                .iter()
+                .enumerate()
+                .all(|(pos, (id, _))| self.buffer_index.get(id) == Some(&pos));
+        let mut union: DetHashSet<u64> = self.buffer.iter().map(|&(id, _)| id).collect();
+        for level in &self.levels {
+            union.extend(level.manifest.keys().copied());
+        }
+        buffer_indexed
+            && union.len() == self.membership.len()
+            && union.iter().all(|id| self.membership.contains(id))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
     use stegfs_blockdev::MemDevice;
 
     const BLOCK: usize = 512;
@@ -411,6 +418,41 @@ mod tests {
 
     fn payload(id: u64) -> Vec<u8> {
         vec![(id % 251) as u8; 200]
+    }
+
+    #[test]
+    fn failed_flush_keeps_buffered_items_readable() {
+        let mut store = new_store(4, 32);
+        // One full flush moves ids 0..4 into level 1.
+        for id in 0..4u64 {
+            store.insert(id, payload(id)).unwrap();
+        }
+        assert!(store.levels[0].len() > 0);
+
+        // Corrupt one of level 1's occupied slots directly on the device.
+        let slot = *store.levels[0].manifest.values().next().unwrap();
+        store
+            .device
+            .write_block(store.levels[0].data_offset + slot, &[0x5Au8; BLOCK])
+            .unwrap();
+
+        // Refill the buffer; the fourth insert triggers the flush, which
+        // hits the corrupt slot while streaming level 1 into the sort.
+        for id in 100..103u64 {
+            store.insert(id, payload(id)).unwrap();
+        }
+        assert!(matches!(
+            store.insert(103, payload(103)),
+            Err(ObliviousError::Corrupt(_))
+        ));
+
+        // The failure surfaced before any level write: the level rolled
+        // back, the buffer still holds every pending item, and the
+        // bookkeeping invariants survived.
+        assert!(store.membership_is_consistent());
+        for id in 100..104u64 {
+            assert_eq!(store.read(id).unwrap(), payload(id), "id {id}");
+        }
     }
 
     #[test]
@@ -476,6 +518,32 @@ mod tests {
         for id in 0..16u64 {
             assert_eq!(store.read(id).unwrap(), payload(id));
         }
+    }
+
+    #[test]
+    fn membership_stays_consistent_across_full_cascades() {
+        // Small buffer + overwrites so flushes cascade through every level
+        // repeatedly; the membership/manifest/buffer-index invariant must
+        // hold at every step, not just at the end.
+        let mut store = new_store(2, 32);
+        for step in 0..96u64 {
+            let id = step % 24; // revisits ids so duplicates flow down
+            store.write(id, payload(id ^ step)).unwrap();
+            assert!(
+                store.membership_is_consistent(),
+                "inconsistent at step {step}, occupancy {:?}",
+                store.occupancy()
+            );
+        }
+        assert_eq!(store.len(), 24);
+        let mut reads = 0;
+        for id in 0..24u64 {
+            store.read(id).unwrap();
+            reads += 1;
+            assert!(store.membership_is_consistent(), "after read {reads}");
+        }
+        // Deep levels were exercised, not just level 1.
+        assert!(store.stats().reorders > 4);
     }
 
     #[test]

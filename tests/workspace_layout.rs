@@ -81,6 +81,7 @@ fn expected_figure_and_table_bins_exist() {
         "security_analysis",
         "overhead_model",
         "crypto_baseline",
+        "oblivious_baseline",
     ] {
         assert!(
             on_disk.contains(required),
