@@ -1,0 +1,153 @@
+//! A wall-clock latency model for concurrency benchmarks.
+//!
+//! The `sim` module charges a *simulated* clock, which is ideal for
+//! reproducing the paper's timing figures but invisible to wall-clock
+//! throughput measurements. [`LatencyDevice`] instead makes the calling
+//! thread actually wait a fixed duration per request before delegating to the
+//! inner device — modelling the property of real storage that matters to a
+//! *serving layer*: while one request waits on the device, other threads can
+//! make progress. A single-threaded caller pays the full latency serially; a
+//! concurrent serving layer overlaps the waits. The `concurrent_baseline`
+//! bench uses this to measure how multi-user throughput scales with threads
+//! even on a single-CPU host.
+//!
+//! A ranged request pays the per-request latency once (one positioning, many
+//! transfers — the same convention as `DiskModel::batch_service_time_us`).
+
+use std::time::Duration;
+
+use crate::device::{BlockDevice, BlockId, DeviceError};
+
+/// A device wrapper that sleeps a fixed duration per request.
+pub struct LatencyDevice<D> {
+    inner: D,
+    per_request: Duration,
+}
+
+impl<D: BlockDevice> LatencyDevice<D> {
+    /// Wrap `inner`, charging `per_request_us` microseconds of wall-clock
+    /// latency per block request (scalar or ranged).
+    pub fn new(inner: D, per_request_us: u64) -> Self {
+        Self {
+            inner,
+            per_request: Duration::from_micros(per_request_us),
+        }
+    }
+
+    /// The configured per-request latency in microseconds.
+    pub fn latency_us(&self) -> u64 {
+        self.per_request.as_micros() as u64
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn wait(&self) {
+        if !self.per_request.is_zero() {
+            std::thread::sleep(self.per_request);
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for LatencyDevice<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.wait();
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        self.wait();
+        self.inner.write_block(block, buf)
+    }
+
+    fn read_blocks(&self, start: BlockId, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.wait();
+        self.inner.read_blocks(start, buf)
+    }
+
+    fn write_blocks(&self, start: BlockId, buf: &[u8]) -> Result<(), DeviceError> {
+        self.wait();
+        self.inner.write_blocks(start, buf)
+    }
+
+    fn sync(&self) -> Result<(), DeviceError> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BlockDeviceExt;
+    use crate::mem::MemDevice;
+
+    #[test]
+    fn delegates_data_faithfully() {
+        let dev = LatencyDevice::new(MemDevice::new(8, 64), 0);
+        let data = vec![7u8; 64];
+        dev.write_block(3, &data).unwrap();
+        assert_eq!(dev.read_block_vec(3).unwrap(), data);
+        assert_eq!(dev.num_blocks(), 8);
+        assert_eq!(dev.block_size(), 64);
+        assert_eq!(dev.latency_us(), 0);
+        let ranged = vec![9u8; 128];
+        dev.write_blocks(4, &ranged).unwrap();
+        let mut back = vec![0u8; 128];
+        dev.read_blocks(4, &mut back).unwrap();
+        assert_eq!(back, ranged);
+        assert!(dev.inner().read_block_vec(3).is_ok());
+    }
+
+    #[test]
+    fn sleeps_at_least_the_configured_latency() {
+        let dev = LatencyDevice::new(MemDevice::new(4, 64), 2_000);
+        let mut buf = vec![0u8; 64];
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            dev.read_block(0, &mut buf).unwrap();
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_micros(6_000),
+            "3 reads at 2 ms each took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_overlap_their_waits() {
+        // Four threads × one 4 ms request each should take far less than the
+        // 16 ms a serial caller pays — the property the serving layer relies
+        // on.
+        let dev = LatencyDevice::new(MemDevice::new(4, 64), 4_000);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for b in 0..4u64 {
+                let dev = &dev;
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 64];
+                    dev.read_block(b, &mut buf).unwrap();
+                });
+            }
+        });
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_micros(12_000),
+            "overlapped waits took {elapsed:?} (serial would be 16 ms)"
+        );
+    }
+}

@@ -30,6 +30,7 @@
 
 mod device;
 mod file;
+mod latency;
 mod mem;
 pub mod sim;
 mod stats;
@@ -37,6 +38,7 @@ mod trace;
 
 pub use device::{BlockDevice, BlockDeviceExt, BlockId, DeviceError, DeviceGeometry, ScalarDevice};
 pub use file::FileDevice;
+pub use latency::LatencyDevice;
 pub use mem::MemDevice;
 pub use stats::{IoCounters, IoStats};
 pub use trace::{IoKind, IoRecord, Snapshot, SnapshotDiff, TraceLog, TracingDevice};

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod concurrent;
 mod config;
 mod error;
 mod nonvolatile;
@@ -42,10 +43,11 @@ mod stats;
 mod update;
 mod volatile;
 
+pub use concurrent::ConcurrentAgent;
 pub use config::AgentConfig;
 pub use error::AgentError;
 pub use nonvolatile::NonVolatileAgent;
 pub use registry::{BlockRole, FileId, Registry};
-pub use stats::UpdateStats;
+pub use stats::{SharedUpdateStats, UpdateStats};
 pub use update::UpdateOutcome;
 pub use volatile::{SessionId, UserCredential, VolatileAgent};

@@ -61,6 +61,73 @@ impl UpdateStats {
     }
 }
 
+/// Lock-free counterpart of [`UpdateStats`] for the concurrent agent: every
+/// field is an atomic counter, so the read and update paths bump statistics
+/// without sharing a lock. [`SharedUpdateStats::snapshot`] flattens into an
+/// ordinary [`UpdateStats`] for reporting.
+#[derive(Debug, Default)]
+pub struct SharedUpdateStats {
+    data_updates: AtomicU64,
+    dummy_updates: AtomicU64,
+    relocations: AtomicU64,
+    in_place: AtomicU64,
+    iterations: AtomicU64,
+    block_reads: AtomicU64,
+    block_writes: AtomicU64,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl SharedUpdateStats {
+    /// Record one serviced data update.
+    pub fn count_data_update(&self) {
+        self.data_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one dummy update with its read+write I/O pair.
+    pub fn count_dummy_update(&self) {
+        self.dummy_updates.fetch_add(1, Ordering::Relaxed);
+        self.block_reads.fetch_add(1, Ordering::Relaxed);
+        self.block_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one Figure 6 block-selection iteration.
+    pub fn count_iteration(&self) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a relocation outcome.
+    pub fn count_relocation(&self) {
+        self.relocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an in-place outcome.
+    pub fn count_in_place(&self) {
+        self.in_place.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the read+write I/O pair of a data rewrite.
+    pub fn count_data_io_pair(&self) {
+        self.block_reads.fetch_add(1, Ordering::Relaxed);
+        self.block_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flatten into a plain [`UpdateStats`]. Each counter is read atomically;
+    /// a snapshot taken while workers run is a consistent-enough progress
+    /// report, and one taken after the workers join is exact.
+    pub fn snapshot(&self) -> UpdateStats {
+        UpdateStats {
+            data_updates: self.data_updates.load(Ordering::Relaxed),
+            dummy_updates: self.dummy_updates.load(Ordering::Relaxed),
+            relocations: self.relocations.load(Ordering::Relaxed),
+            in_place: self.in_place.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            block_reads: self.block_reads.load(Ordering::Relaxed),
+            block_writes: self.block_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +150,31 @@ mod tests {
         };
         assert!((s.mean_iterations_per_data_update() - 2.5).abs() < 1e-9);
         assert!((s.mean_ios_per_data_update() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_stats_snapshot_matches_counts() {
+        let shared = SharedUpdateStats::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        shared.count_iteration();
+                        shared.count_dummy_update();
+                    }
+                    shared.count_data_update();
+                    shared.count_relocation();
+                    shared.count_data_io_pair();
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.iterations, 400);
+        assert_eq!(snap.dummy_updates, 400);
+        assert_eq!(snap.data_updates, 4);
+        assert_eq!(snap.relocations, 4);
+        assert_eq!(snap.block_reads, 404);
+        assert_eq!(snap.block_writes, 404);
     }
 
     #[test]

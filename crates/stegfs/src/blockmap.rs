@@ -13,6 +13,65 @@
 
 use stegfs_blockdev::BlockId;
 
+/// The classification interface the file-system paths need from a block map.
+///
+/// Two implementations exist: the scalar [`BlockMap`] (the original
+/// single-user map, `&mut` everywhere) and the
+/// [`ShardedBlockMap`](crate::ShardedBlockMap) (per-shard locks, usable
+/// through a shared reference from many threads — `&ShardedBlockMap`
+/// implements this trait too, so a concurrent caller passes
+/// `&mut &sharded_map` where a sequential caller passes `&mut scalar_map`).
+///
+/// Implementations used concurrently must make [`ClassMap::claim`] atomic
+/// (check and reclassify under one lock); the scalar map's default is the
+/// plain check-then-set, which is equivalent when there is a single caller.
+pub trait ClassMap {
+    /// Number of blocks covered.
+    fn num_blocks(&self) -> u64;
+    /// Classification of `block`.
+    fn class(&self, block: BlockId) -> BlockClass;
+    /// Reclassify `block`.
+    fn set(&mut self, block: BlockId, class: BlockClass);
+    /// Reclassify `block` from `from` to `to` if and only if it currently is
+    /// `from`; returns whether the claim succeeded. Allocation goes through
+    /// this method so that two concurrent allocators can never claim the same
+    /// block on a sharded map.
+    fn claim(&mut self, block: BlockId, from: BlockClass, to: BlockClass) -> bool {
+        if self.class(block) == from {
+            self.set(block, to);
+            true
+        } else {
+            false
+        }
+    }
+    /// Number of blocks currently classified as data.
+    fn data_blocks(&self) -> u64;
+    /// Number of blocks currently classified as dummy.
+    fn dummy_blocks(&self) -> u64;
+}
+
+impl ClassMap for BlockMap {
+    fn num_blocks(&self) -> u64 {
+        BlockMap::num_blocks(self)
+    }
+
+    fn class(&self, block: BlockId) -> BlockClass {
+        BlockMap::class(self, block)
+    }
+
+    fn set(&mut self, block: BlockId, class: BlockClass) {
+        BlockMap::set(self, block, class)
+    }
+
+    fn data_blocks(&self) -> u64 {
+        BlockMap::data_blocks(self)
+    }
+
+    fn dummy_blocks(&self) -> u64 {
+        BlockMap::dummy_blocks(self)
+    }
+}
+
 /// Classification of one physical block from the agent's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockClass {

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use stegfs_blockdev::{BlockDevice, BlockId};
 use stegfs_crypto::HashDrbg;
 
-use crate::blockmap::{BlockClass, BlockMap};
+use crate::blockmap::{BlockClass, BlockMap, ClassMap};
 use crate::codec::BlockCodec;
 use crate::error::FsError;
 use crate::fak::FileAccessKey;
@@ -252,7 +252,20 @@ impl<D: BlockDevice> StegFs<D> {
     /// Allocate `count` distinct blocks uniformly at random among the blocks
     /// `map` classifies as dummy, marking them as data. Mirrors the paper's
     /// "scattered across the storage space" placement.
-    pub fn allocate_blocks(&self, map: &mut BlockMap, count: u64) -> Result<Vec<BlockId>, FsError> {
+    ///
+    /// Generic over [`ClassMap`]: sequential callers pass `&mut BlockMap`,
+    /// the concurrent serving layer passes `&mut &ShardedBlockMap`, whose
+    /// atomic [`ClassMap::claim`] keeps two allocators from marking the same
+    /// block. The up-front space check is only advisory on a shared map
+    /// (other threads may drain the pool mid-loop — the concurrent agent
+    /// therefore runs creation under its structural write lock), so the loop
+    /// also re-checks the pool on every failed claim and rolls back instead
+    /// of spinning forever once it empties.
+    pub fn allocate_blocks<M: ClassMap>(
+        &self,
+        map: &mut M,
+        count: u64,
+    ) -> Result<Vec<BlockId>, FsError> {
         if map.dummy_blocks() < count {
             return Err(FsError::NoSpace {
                 requested: count,
@@ -264,9 +277,20 @@ impl<D: BlockDevice> StegFs<D> {
         let payload = self.superblock.payload_blocks();
         while (out.len() as u64) < count {
             let candidate = 1 + rng.gen_range(payload);
-            if map.class(candidate) == BlockClass::Dummy {
-                map.set(candidate, BlockClass::Data);
+            if map.claim(candidate, BlockClass::Dummy, BlockClass::Data) {
                 out.push(candidate);
+            } else if map.dummy_blocks() == 0 {
+                // Pool exhausted underneath us (only possible with external
+                // concurrent claimers). Release what we took and report; the
+                // check never fires single-threaded, where the precondition
+                // above already guaranteed enough dummies.
+                for &b in &out {
+                    map.set(b, BlockClass::Dummy);
+                }
+                return Err(FsError::NoSpace {
+                    requested: count,
+                    available: 0,
+                });
             }
             // Non-dummy candidates are simply skipped; with utilisation kept
             // below 50 % the expected number of retries per block is < 2
@@ -277,7 +301,11 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// Release blocks back to the dummy pool, refilling them with random
     /// bytes so they are indistinguishable from never-used blocks.
-    pub fn release_blocks(&self, map: &mut BlockMap, blocks: &[BlockId]) -> Result<(), FsError> {
+    pub fn release_blocks<M: ClassMap>(
+        &self,
+        map: &mut M,
+        blocks: &[BlockId],
+    ) -> Result<(), FsError> {
         let mut rng = self.rng.lock();
         for &b in blocks {
             self.codec.write_random(&self.device, b, &mut rng)?;
@@ -300,9 +328,9 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Create a hidden file at `path` with the given content.
-    pub fn create_file(
+    pub fn create_file<M: ClassMap>(
         &self,
-        map: &mut BlockMap,
+        map: &mut M,
         path: &str,
         fak: &FileAccessKey,
         content: &[u8],
@@ -325,9 +353,9 @@ impl<D: BlockDevice> StegFs<D> {
     /// and timing behaviour of subsequent reads and updates is identical to a
     /// fully written file, so the benchmark harness uses this to set up large
     /// populations quickly; real deployments use [`StegFs::create_file`].
-    pub fn create_file_sparse(
+    pub fn create_file_sparse<M: ClassMap>(
         &self,
-        map: &mut BlockMap,
+        map: &mut M,
         path: &str,
         fak: &FileAccessKey,
         size: u64,
@@ -340,9 +368,9 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// Create a dummy file of `num_blocks` content blocks at `path`. Its
     /// content blocks are filled with random bytes; only the header is real.
-    pub fn create_dummy_file(
+    pub fn create_dummy_file<M: ClassMap>(
         &self,
-        map: &mut BlockMap,
+        map: &mut M,
         path: &str,
         fak: &FileAccessKey,
         num_blocks: u64,
@@ -355,9 +383,9 @@ impl<D: BlockDevice> StegFs<D> {
     /// being filled with fresh random bytes. On a properly formatted volume
     /// the blocks already contain random data, so this is equivalent to
     /// [`StegFs::create_dummy_file`] but much faster for benchmark set-up.
-    pub fn create_dummy_file_sparse(
+    pub fn create_dummy_file_sparse<M: ClassMap>(
         &self,
-        map: &mut BlockMap,
+        map: &mut M,
         path: &str,
         fak: &FileAccessKey,
         num_blocks: u64,
@@ -366,9 +394,9 @@ impl<D: BlockDevice> StegFs<D> {
         self.create_inner(map, path, fak, FileKind::Dummy, size, ContentInit::Skip)
     }
 
-    fn create_inner(
+    fn create_inner<M: ClassMap>(
         &self,
-        map: &mut BlockMap,
+        map: &mut M,
         path: &str,
         fak: &FileAccessKey,
         kind: FileKind,
@@ -392,11 +420,16 @@ impl<D: BlockDevice> StegFs<D> {
         let candidates = self.header_candidates(fak, path);
         let header_location = *candidates
             .iter()
-            .find(|&&b| matches!(map.class(b), BlockClass::Dummy | BlockClass::Unknown))
+            .find(|&&b| {
+                // `claim` rather than check-then-set, so two concurrent
+                // creations (or a creation racing an allocation) can never
+                // take the same header slot on a sharded map.
+                map.claim(b, BlockClass::Dummy, BlockClass::Data)
+                    || map.claim(b, BlockClass::Unknown, BlockClass::Data)
+            })
             .ok_or(FsError::HeaderCollision {
                 block: *candidates.last().unwrap_or(&0),
             })?;
-        map.set(header_location, BlockClass::Data);
 
         // Allocate content and indirect blocks.
         let content_locs = match self.allocate_blocks(map, content_blocks) {
@@ -509,7 +542,7 @@ impl<D: BlockDevice> StegFs<D> {
     /// Register an open file's blocks in the agent's block map — what the
     /// volatile agent does when a user logs on and discloses a FAK
     /// (Section 4.2.2).
-    pub fn register_file(&self, map: &mut BlockMap, file: &OpenFile) {
+    pub fn register_file<M: ClassMap>(&self, map: &mut M, file: &OpenFile) {
         let class = if file.is_dummy() {
             // Dummy-file content blocks may be reused for data and are valid
             // dummy-update targets.
@@ -613,7 +646,7 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Delete a file: release all of its blocks back to the dummy pool.
-    pub fn delete_file(&self, map: &mut BlockMap, file: OpenFile) -> Result<(), FsError> {
+    pub fn delete_file<M: ClassMap>(&self, map: &mut M, file: OpenFile) -> Result<(), FsError> {
         let blocks = file.all_blocks();
         self.release_blocks(map, &blocks)
     }

@@ -39,11 +39,13 @@ mod fak;
 mod fs;
 pub mod header;
 pub mod layout;
+mod sharded_map;
 
-pub use blockmap::{BlockClass, BlockMap};
+pub use blockmap::{BlockClass, BlockMap, ClassMap};
 pub use codec::BlockCodec;
 pub use error::FsError;
 pub use fak::FileAccessKey;
 pub use fs::{OpenFile, StegFs, StegFsConfig};
 pub use header::{FileHeader, FileKind};
 pub use layout::{Superblock, DEFAULT_BLOCK_SIZE, IV_SIZE, SUPERBLOCK_BLOCK};
+pub use sharded_map::{ShardedBlockMap, DEFAULT_MAP_SHARDS};

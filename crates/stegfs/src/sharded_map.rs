@@ -1,0 +1,384 @@
+//! A lock-decomposed block classification map for the concurrent serving
+//! layer.
+//!
+//! The scalar [`BlockMap`] forces `&mut self` on every reclassification, which
+//! serialises all users behind one borrow. [`ShardedBlockMap`] splits the map
+//! into `N` shards keyed by `block_id % N`, each behind its own
+//! `parking_lot::RwLock`, so classifications and reclassifications on
+//! different shards proceed in parallel. Every shard caches its per-class
+//! counters, so [`ShardedBlockMap::data_blocks`] (and the utilisation the
+//! Figure 6 loop depends on) is a sum of `N` cached values, never a sweep of
+//! the class vector.
+//!
+//! The map is observationally equivalent to the scalar map — the
+//! `sharded_equivalence` proptest drives both through identical operation
+//! sequences and requires identical `class()` / `data_blocks()` /
+//! `utilisation()` results.
+
+use parking_lot::RwLock;
+
+use stegfs_blockdev::BlockId;
+
+use crate::blockmap::{BlockClass, BlockMap, ClassMap};
+
+/// Default shard count: enough to spread an 8–32-thread serving layer with
+/// negligible per-shard memory overhead.
+pub const DEFAULT_MAP_SHARDS: usize = 16;
+
+/// One shard: the classes of every block `b` with `b % num_shards == index`,
+/// stored at position `b / num_shards`, plus cached per-class counts.
+#[derive(Debug)]
+struct Shard {
+    classes: Vec<BlockClass>,
+    /// Counts indexed by [`class_index`].
+    counts: [u64; 4],
+}
+
+fn class_index(class: BlockClass) -> usize {
+    match class {
+        BlockClass::Reserved => 0,
+        BlockClass::Data => 1,
+        BlockClass::Dummy => 2,
+        BlockClass::Unknown => 3,
+    }
+}
+
+/// A sharded map from physical block number to [`BlockClass`], safe to share
+/// across threads by reference.
+#[derive(Debug)]
+pub struct ShardedBlockMap {
+    shards: Vec<RwLock<Shard>>,
+    num_blocks: u64,
+}
+
+impl ShardedBlockMap {
+    /// Create a map of `num_blocks` blocks split over `num_shards` shards,
+    /// every block `fill` except block 0 which is [`BlockClass::Reserved`].
+    fn new_filled(num_blocks: u64, num_shards: usize, fill: BlockClass) -> Self {
+        assert!(num_shards > 0, "shard count must be positive");
+        let mut shards: Vec<Shard> = (0..num_shards)
+            .map(|s| {
+                // Shard s holds blocks s, s + N, s + 2N, …
+                let len = (num_blocks.saturating_sub(s as u64)).div_ceil(num_shards as u64);
+                let mut counts = [0u64; 4];
+                counts[class_index(fill)] = len;
+                Shard {
+                    classes: vec![fill; len as usize],
+                    counts,
+                }
+            })
+            .collect();
+        if num_blocks > 0 {
+            let shard0 = &mut shards[0];
+            shard0.counts[class_index(fill)] -= 1;
+            shard0.counts[class_index(BlockClass::Reserved)] += 1;
+            shard0.classes[0] = BlockClass::Reserved;
+        }
+        Self {
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            num_blocks,
+        }
+    }
+
+    /// All-unknown map (the volatile agent's zero-knowledge start).
+    pub fn new_unknown(num_blocks: u64, num_shards: usize) -> Self {
+        Self::new_filled(num_blocks, num_shards, BlockClass::Unknown)
+    }
+
+    /// All-dummy map (the non-volatile agent's view of a fresh volume).
+    pub fn new_all_dummy(num_blocks: u64, num_shards: usize) -> Self {
+        Self::new_filled(num_blocks, num_shards, BlockClass::Dummy)
+    }
+
+    /// Build a sharded map holding the same classification as `map`.
+    pub fn from_scalar(map: &BlockMap, num_shards: usize) -> Self {
+        let sharded = Self::new_filled(map.num_blocks(), num_shards, BlockClass::Unknown);
+        for b in 0..map.num_blocks() {
+            let class = map.class(b);
+            let mut shard = sharded.shards[(b % num_shards as u64) as usize].write();
+            let idx = (b / num_shards as u64) as usize;
+            let old = shard.classes[idx];
+            shard.counts[class_index(old)] -= 1;
+            shard.counts[class_index(class)] += 1;
+            shard.classes[idx] = class;
+        }
+        sharded
+    }
+
+    /// Flatten into a scalar [`BlockMap`] (for serialisation or comparison).
+    pub fn to_scalar(&self) -> BlockMap {
+        let mut map = BlockMap::new_unknown(self.num_blocks);
+        for b in 0..self.num_blocks {
+            map.set(b, self.class(b));
+        }
+        map
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// The shard index responsible for `block` — the same decomposition the
+    /// concurrent agent uses for its per-shard update locks.
+    pub fn shard_of(&self, block: BlockId) -> usize {
+        (block % self.shards.len() as u64) as usize
+    }
+
+    /// Classification of `block`.
+    pub fn class(&self, block: BlockId) -> BlockClass {
+        assert!(block < self.num_blocks, "block {block} out of range");
+        let shard = self.shards[self.shard_of(block)].read();
+        shard.classes[(block / self.shards.len() as u64) as usize]
+    }
+
+    /// Reclassify `block` through a shared reference.
+    pub fn set(&self, block: BlockId, class: BlockClass) {
+        assert!(block < self.num_blocks, "block {block} out of range");
+        let mut shard = self.shards[self.shard_of(block)].write();
+        let idx = (block / self.shards.len() as u64) as usize;
+        let old = shard.classes[idx];
+        if old == class {
+            return;
+        }
+        shard.counts[class_index(old)] -= 1;
+        shard.counts[class_index(class)] += 1;
+        shard.classes[idx] = class;
+    }
+
+    /// Atomically reclassify `block` from `from` to `to`; returns whether the
+    /// block was in class `from`. The check and the reclassification happen
+    /// under one shard write lock, so two threads can never claim the same
+    /// block.
+    pub fn claim(&self, block: BlockId, from: BlockClass, to: BlockClass) -> bool {
+        assert!(block < self.num_blocks, "block {block} out of range");
+        let mut shard = self.shards[self.shard_of(block)].write();
+        let idx = (block / self.shards.len() as u64) as usize;
+        if shard.classes[idx] != from {
+            return false;
+        }
+        if from != to {
+            shard.counts[class_index(from)] -= 1;
+            shard.counts[class_index(to)] += 1;
+            shard.classes[idx] = to;
+        }
+        true
+    }
+
+    fn count_of(&self, class: BlockClass) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().counts[class_index(class)])
+            .sum()
+    }
+
+    /// Number of data blocks (sum of the cached per-shard counters).
+    pub fn data_blocks(&self) -> u64 {
+        self.count_of(BlockClass::Data)
+    }
+
+    /// Number of dummy blocks.
+    pub fn dummy_blocks(&self) -> u64 {
+        self.count_of(BlockClass::Dummy)
+    }
+
+    /// Number of unknown blocks.
+    pub fn unknown_blocks(&self) -> u64 {
+        self.count_of(BlockClass::Unknown)
+    }
+
+    /// Number of reserved blocks.
+    pub fn reserved_blocks(&self) -> u64 {
+        self.count_of(BlockClass::Reserved)
+    }
+
+    /// Space utilisation, same definition as [`BlockMap::utilisation`].
+    pub fn utilisation(&self) -> f64 {
+        let payload = self.num_blocks.saturating_sub(1);
+        if payload == 0 {
+            0.0
+        } else {
+            self.data_blocks() as f64 / payload as f64
+        }
+    }
+
+    /// Blocks in a given class, ascending. (A materialised `Vec` rather than
+    /// an iterator: the shard locks must not be held across caller code.)
+    pub fn blocks_in_class(&self, class: BlockClass) -> Vec<BlockId> {
+        let n = self.shards.len() as u64;
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read();
+            for (i, &c) in shard.classes.iter().enumerate() {
+                if c == class {
+                    out.push(i as u64 * n + s as u64);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether every shard's cached counters agree with its class vector and
+    /// the per-class totals cover the whole volume — the conservation
+    /// invariant the stress suite checks after concurrent runs.
+    pub fn counters_are_consistent(&self) -> bool {
+        let mut totals = [0u64; 4];
+        for shard in &self.shards {
+            let shard = shard.read();
+            let mut recount = [0u64; 4];
+            for &c in &shard.classes {
+                recount[class_index(c)] += 1;
+            }
+            if recount != shard.counts {
+                return false;
+            }
+            for (t, r) in totals.iter_mut().zip(recount) {
+                *t += r;
+            }
+        }
+        totals.iter().sum::<u64>() == self.num_blocks
+    }
+}
+
+/// `&ShardedBlockMap` satisfies the map interface of the file-system paths:
+/// a concurrent caller hands `&mut &sharded` where a sequential caller hands
+/// `&mut scalar`.
+impl ClassMap for &ShardedBlockMap {
+    fn num_blocks(&self) -> u64 {
+        ShardedBlockMap::num_blocks(self)
+    }
+
+    fn class(&self, block: BlockId) -> BlockClass {
+        ShardedBlockMap::class(self, block)
+    }
+
+    fn set(&mut self, block: BlockId, class: BlockClass) {
+        ShardedBlockMap::set(self, block, class)
+    }
+
+    fn claim(&mut self, block: BlockId, from: BlockClass, to: BlockClass) -> bool {
+        ShardedBlockMap::claim(self, block, from, to)
+    }
+
+    fn data_blocks(&self) -> u64 {
+        ShardedBlockMap::data_blocks(self)
+    }
+
+    fn dummy_blocks(&self) -> u64 {
+        ShardedBlockMap::dummy_blocks(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_all_dummy_matches_scalar_counts() {
+        let sharded = ShardedBlockMap::new_all_dummy(100, 7);
+        let scalar = BlockMap::new_all_dummy(100);
+        assert_eq!(sharded.num_blocks(), 100);
+        assert_eq!(sharded.num_shards(), 7);
+        assert_eq!(sharded.class(0), BlockClass::Reserved);
+        assert_eq!(sharded.class(1), BlockClass::Dummy);
+        assert_eq!(sharded.data_blocks(), scalar.data_blocks());
+        assert_eq!(sharded.dummy_blocks(), scalar.dummy_blocks());
+        assert_eq!(sharded.reserved_blocks(), 1);
+        assert_eq!(sharded.unknown_blocks(), 0);
+        assert!(sharded.counters_are_consistent());
+    }
+
+    #[test]
+    fn set_and_claim_update_cached_counters() {
+        let map = ShardedBlockMap::new_all_dummy(64, 4);
+        map.set(3, BlockClass::Data);
+        map.set(17, BlockClass::Data);
+        assert_eq!(map.data_blocks(), 2);
+        assert_eq!(map.dummy_blocks(), 61);
+        assert!(map.claim(5, BlockClass::Dummy, BlockClass::Data));
+        assert!(!map.claim(5, BlockClass::Dummy, BlockClass::Data));
+        assert_eq!(map.data_blocks(), 3);
+        // Same-class set is a no-op.
+        map.set(3, BlockClass::Data);
+        assert_eq!(map.data_blocks(), 3);
+        assert!(map.counters_are_consistent());
+    }
+
+    #[test]
+    fn utilisation_matches_scalar_definition() {
+        let sharded = ShardedBlockMap::new_all_dummy(101, 8);
+        let mut scalar = BlockMap::new_all_dummy(101);
+        for b in 1..=25 {
+            sharded.set(b, BlockClass::Data);
+            scalar.set(b, BlockClass::Data);
+        }
+        assert!((sharded.utilisation() - scalar.utilisation()).abs() < 1e-12);
+        assert!((sharded.utilisation() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_in_class_sorted_ascending() {
+        let map = ShardedBlockMap::new_all_dummy(40, 3);
+        map.set(2, BlockClass::Data);
+        map.set(31, BlockClass::Data);
+        map.set(7, BlockClass::Data);
+        assert_eq!(map.blocks_in_class(BlockClass::Data), vec![2, 7, 31]);
+    }
+
+    #[test]
+    fn scalar_roundtrip_preserves_classes() {
+        let mut scalar = BlockMap::new_all_dummy(50);
+        scalar.set(5, BlockClass::Data);
+        scalar.set(11, BlockClass::Unknown);
+        scalar.set(49, BlockClass::Data);
+        let sharded = ShardedBlockMap::from_scalar(&scalar, 6);
+        for b in 0..50 {
+            assert_eq!(sharded.class(b), scalar.class(b), "block {b}");
+        }
+        assert_eq!(sharded.to_scalar(), scalar);
+        assert!(sharded.counters_are_consistent());
+    }
+
+    #[test]
+    fn concurrent_claims_never_double_allocate() {
+        let map = std::sync::Arc::new(ShardedBlockMap::new_all_dummy(1024, 8));
+        let claimed: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let map = map.clone();
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for b in 1..1024u64 {
+                            if map.claim(b, BlockClass::Dummy, BlockClass::Data) {
+                                mine.push(b);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = claimed.into_iter().flatten().collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "a block was claimed twice");
+        assert_eq!(total, 1023, "every dummy block claimed exactly once");
+        assert_eq!(map.data_blocks(), 1023);
+        assert!(map.counters_are_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        let map = ShardedBlockMap::new_all_dummy(10, 2);
+        map.class(10);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: [`ShardedBlockMap`] must be observationally identical to
+//! the scalar [`BlockMap`] under every operation sequence — sharding may only
+//! change locking, never classification results. Same shape as
+//! `blockdev/tests/batched_equivalence.rs`: drive both implementations
+//! through one generated op stream and require identical `class()` /
+//! `data_blocks()` / `dummy_blocks()` / `utilisation()` observations at every
+//! step.
+
+use proptest::prelude::*;
+use stegfs_base::{BlockClass, BlockMap, ClassMap, ShardedBlockMap};
+
+const NUM_BLOCKS: u64 = 96;
+
+/// One generated operation on the map.
+#[derive(Debug, Clone, Copy)]
+enum MapOp {
+    Set(u64, BlockClass),
+    Claim(u64, BlockClass, BlockClass),
+}
+
+fn class_of(tag: u8) -> BlockClass {
+    match tag % 4 {
+        0 => BlockClass::Reserved,
+        1 => BlockClass::Data,
+        2 => BlockClass::Dummy,
+        _ => BlockClass::Unknown,
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        (0u64..NUM_BLOCKS, any::<u8>(), any::<u8>(), any::<bool>()),
+        1..60,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(block, a, b, is_claim)| {
+                if is_claim {
+                    MapOp::Claim(block, class_of(a), class_of(b))
+                } else {
+                    MapOp::Set(block, class_of(a))
+                }
+            })
+            .collect()
+    })
+}
+
+fn assert_maps_agree(
+    scalar: &BlockMap,
+    sharded: &ShardedBlockMap,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        scalar.data_blocks(),
+        sharded.data_blocks(),
+        "data counts diverge {}",
+        context
+    );
+    prop_assert_eq!(
+        scalar.dummy_blocks(),
+        sharded.dummy_blocks(),
+        "dummy counts diverge {}",
+        context
+    );
+    prop_assert!(
+        (scalar.utilisation() - sharded.utilisation()).abs() < 1e-12,
+        "utilisation diverges {}",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Identical op sequences produce identical observations, for every shard
+    /// count from degenerate (1) to more shards than blocks.
+    #[test]
+    fn sharded_map_matches_scalar(ops in ops_strategy(), shards in 1usize..33) {
+        let mut scalar = BlockMap::new_all_dummy(NUM_BLOCKS);
+        let sharded = ShardedBlockMap::new_all_dummy(NUM_BLOCKS, shards);
+
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                MapOp::Set(block, class) => {
+                    scalar.set(block, class);
+                    sharded.set(block, class);
+                }
+                MapOp::Claim(block, from, to) => {
+                    let scalar_claim = ClassMap::claim(&mut scalar, block, from, to);
+                    let sharded_claim = sharded.claim(block, from, to);
+                    prop_assert_eq!(
+                        scalar_claim, sharded_claim,
+                        "claim outcome diverges at op {}", i
+                    );
+                }
+            }
+            prop_assert_eq!(
+                scalar.class(op.block()),
+                sharded.class(op.block()),
+                "class diverges after op {}",
+                i
+            );
+            assert_maps_agree(&scalar, &sharded, &format!("after op {i}"))?;
+        }
+
+        // Full sweep at the end: every block's class and the per-class
+        // iteration agree.
+        for b in 0..NUM_BLOCKS {
+            prop_assert_eq!(scalar.class(b), sharded.class(b), "final class of {}", b);
+        }
+        for class in [
+            BlockClass::Reserved,
+            BlockClass::Data,
+            BlockClass::Dummy,
+            BlockClass::Unknown,
+        ] {
+            let scalar_blocks: Vec<u64> = scalar.blocks_in_class(class).collect();
+            prop_assert_eq!(scalar_blocks, sharded.blocks_in_class(class));
+        }
+        prop_assert!(sharded.counters_are_consistent());
+        prop_assert_eq!(sharded.to_scalar(), scalar);
+    }
+
+    /// Round-tripping a scalar map through the sharded representation is the
+    /// identity, whatever the shard count.
+    #[test]
+    fn from_scalar_roundtrips(ops in ops_strategy(), shards in 1usize..33) {
+        let mut scalar = BlockMap::new_all_dummy(NUM_BLOCKS);
+        for &op in &ops {
+            if let MapOp::Set(block, class) = op {
+                scalar.set(block, class);
+            }
+        }
+        let sharded = ShardedBlockMap::from_scalar(&scalar, shards);
+        prop_assert_eq!(sharded.num_shards(), shards);
+        prop_assert_eq!(sharded.to_scalar(), scalar);
+        prop_assert!(sharded.counters_are_consistent());
+    }
+}
+
+impl MapOp {
+    fn block(&self) -> u64 {
+        match *self {
+            MapOp::Set(b, _) | MapOp::Claim(b, _, _) => b,
+        }
+    }
+}

@@ -82,6 +82,117 @@ impl RoundRobinDriver {
     }
 }
 
+/// A boxed user task for the concurrent driver: one block-granular step per
+/// call against a *shared* system reference, `true` on completion.
+pub type SharedUserTask<'a, S> = Box<dyn FnMut(&S) -> bool + Send + 'a>;
+
+/// Multi-threaded driver: runs user tasks on scoped threads against a shared
+/// system.
+///
+/// Where [`RoundRobinDriver`] owns the system mutably and interleaves steps
+/// cooperatively on one thread, `ConcurrentDriver` hands every worker thread
+/// the same `&S` — the system itself (e.g. `steghide::ConcurrentAgent`)
+/// provides the interior synchronisation. Tasks are striped over the workers
+/// (`task i` runs on thread `i % threads`) and each worker round-robins the
+/// tasks of its stripe, so:
+///
+/// * with `threads == 1` the visit order is *identical* to
+///   [`RoundRobinDriver::run`] — the sequential driver remains the
+///   equivalence oracle, and single-threaded runs stay deterministic;
+/// * with more threads, stripes execute concurrently and the interleaving
+///   across stripes is scheduler-dependent (value-deterministic workloads,
+///   nondeterministic traces — see the README's Concurrency section).
+pub struct ConcurrentDriver;
+
+impl ConcurrentDriver {
+    /// Run all `tasks` against the shared `system` on `threads` scoped
+    /// threads until each reports completion. `now` reads the shared clock
+    /// (wall or simulated); timings are per task, in input order.
+    pub fn run<S, F, N>(system: &S, tasks: Vec<F>, threads: usize, now: N) -> Vec<TaskTiming>
+    where
+        S: Sync + ?Sized,
+        F: FnMut(&S) -> bool + Send,
+        N: Fn() -> u64 + Sync,
+    {
+        assert!(threads > 0, "thread count must be positive");
+        let num_tasks = tasks.len();
+        if num_tasks == 0 {
+            return Vec::new();
+        }
+        let threads = threads.min(num_tasks);
+
+        // Stripe the tasks: worker w owns tasks w, w + threads, w + 2·threads…
+        let mut stripes: Vec<Vec<(usize, F)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            stripes[i % threads].push((i, task));
+        }
+
+        let now = &now;
+        let collected = std::sync::Mutex::new(Vec::with_capacity(num_tasks));
+        std::thread::scope(|scope| {
+            for stripe in stripes {
+                let collected = &collected;
+                scope.spawn(move || {
+                    let timings = Self::run_stripe(system, stripe, now);
+                    collected
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .extend(timings);
+                });
+            }
+        });
+        let mut timings = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+        timings.sort_by_key(|(index, _)| *index);
+        timings.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Round-robin one worker's stripe to completion — the same loop as
+    /// [`RoundRobinDriver::run`], over a shared reference.
+    fn run_stripe<S, F, N>(
+        system: &S,
+        mut stripe: Vec<(usize, F)>,
+        now: &N,
+    ) -> Vec<(usize, TaskTiming)>
+    where
+        S: Sync + ?Sized,
+        F: FnMut(&S) -> bool,
+        N: Fn() -> u64,
+    {
+        let mut timings: Vec<Option<TaskTiming>> = vec![None; stripe.len()];
+        let mut done = vec![false; stripe.len()];
+        let mut remaining = stripe.len();
+        while remaining > 0 {
+            for (slot, (_, task)) in stripe.iter_mut().enumerate() {
+                if done[slot] {
+                    continue;
+                }
+                let start = now();
+                let finished = task(system);
+                let end = now();
+                let timing = timings[slot].get_or_insert(TaskTiming {
+                    start_us: start,
+                    end_us: end,
+                });
+                timing.end_us = end;
+                if finished {
+                    done[slot] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        stripe
+            .iter()
+            .zip(timings)
+            .map(|((index, _), t)| (*index, t.expect("task ran")))
+            .collect()
+    }
+
+    /// Average elapsed time across tasks, in microseconds.
+    pub fn mean_elapsed_us(timings: &[TaskTiming]) -> f64 {
+        RoundRobinDriver::mean_elapsed_us(timings)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +283,116 @@ mod tests {
     #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(RoundRobinDriver::mean_elapsed_us(&[]), 0.0);
+    }
+
+    /// Shared counter system for the concurrent driver tests.
+    struct SharedCounter {
+        value: std::sync::atomic::AtomicU64,
+    }
+
+    impl SharedCounter {
+        fn bump(&self) -> u64 {
+            self.value
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1
+        }
+        fn get(&self) -> u64 {
+            self.value.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    fn shared_task(steps: u64) -> impl FnMut(&SharedCounter) -> bool + Send {
+        let mut left = steps;
+        move |s: &SharedCounter| {
+            s.bump();
+            left -= 1;
+            left == 0
+        }
+    }
+
+    #[test]
+    fn concurrent_driver_completes_all_tasks_at_any_thread_count() {
+        for threads in [1, 2, 3, 8] {
+            let system = SharedCounter {
+                value: std::sync::atomic::AtomicU64::new(0),
+            };
+            let tasks: Vec<_> = vec![shared_task(5), shared_task(1), shared_task(9)];
+            let timings = ConcurrentDriver::run(&system, tasks, threads, || system.get());
+            assert_eq!(system.get(), 15, "{threads} threads");
+            assert_eq!(timings.len(), 3);
+        }
+    }
+
+    #[test]
+    fn one_thread_matches_round_robin_visit_order() {
+        // Record the (task, step) visit sequence under both drivers; with one
+        // thread they must be identical.
+        let log = std::sync::Mutex::new(Vec::new());
+        let mk = |id: usize, steps: u64| {
+            let log = &log;
+            let mut left = steps;
+            move |_: &SharedCounter| {
+                log.lock().unwrap().push(id);
+                left -= 1;
+                left == 0
+            }
+        };
+        let system = SharedCounter {
+            value: std::sync::atomic::AtomicU64::new(0),
+        };
+        ConcurrentDriver::run(&system, vec![mk(0, 3), mk(1, 1), mk(2, 2)], 1, || 0);
+        let concurrent_log = std::mem::take(&mut *log.lock().unwrap());
+
+        let mut sequential_log = Vec::new();
+        {
+            let mk_seq = |id: usize, steps: u64, log: &mut Vec<usize>| {
+                let _ = log;
+                let mut left = steps;
+                move |log: &mut Vec<usize>| {
+                    log.push(id);
+                    left -= 1;
+                    left == 0
+                }
+            };
+            let tasks = vec![
+                mk_seq(0, 3, &mut sequential_log),
+                mk_seq(1, 1, &mut sequential_log),
+                mk_seq(2, 2, &mut sequential_log),
+            ];
+            RoundRobinDriver::run(&mut sequential_log, tasks, || 0);
+        }
+        assert_eq!(concurrent_log, sequential_log);
+    }
+
+    #[test]
+    fn empty_task_list_returns_no_timings() {
+        let system = SharedCounter {
+            value: std::sync::atomic::AtomicU64::new(0),
+        };
+        let tasks: Vec<fn(&SharedCounter) -> bool> = vec![];
+        assert!(ConcurrentDriver::run(&system, tasks, 4, || 0).is_empty());
+    }
+
+    #[test]
+    fn timings_span_shared_clock_progress() {
+        let system = SharedCounter {
+            value: std::sync::atomic::AtomicU64::new(0),
+        };
+        let tasks: Vec<_> = vec![shared_task(4), shared_task(4)];
+        let timings = ConcurrentDriver::run(&system, tasks, 2, || system.get());
+        for t in &timings {
+            assert!(t.end_us >= t.start_us);
+            assert!(t.end_us <= 8);
+        }
+        assert!(ConcurrentDriver::mean_elapsed_us(&timings) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_panics() {
+        let system = SharedCounter {
+            value: std::sync::atomic::AtomicU64::new(0),
+        };
+        ConcurrentDriver::run(&system, vec![shared_task(1)], 0, || 0);
     }
 }

@@ -14,6 +14,6 @@ mod driver;
 mod patterns;
 mod population;
 
-pub use driver::{RoundRobinDriver, TaskTiming, UserTask};
+pub use driver::{ConcurrentDriver, RoundRobinDriver, SharedUserTask, TaskTiming, UserTask};
 pub use patterns::{AccessPattern, ZipfDistribution};
 pub use population::{deterministic_content, FileSpec, PopulationConfig};

@@ -1,0 +1,118 @@
+//! Property tests: [`ConcurrentDriver`] at one thread must reproduce
+//! [`RoundRobinDriver`] *exactly* — same per-step visit order, same final
+//! system state, same task timings — and at any thread count it must apply
+//! every task's full effect exactly once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use stegfs_workload::{ConcurrentDriver, RoundRobinDriver, TaskTiming};
+
+/// A shared system whose clock advances by a per-step cost and which logs
+/// every step as `(task_id, clock_after)`.
+struct LoggedSystem {
+    clock: AtomicU64,
+    step_cost: u64,
+    log: Mutex<Vec<(usize, u64)>>,
+}
+
+impl LoggedSystem {
+    fn new(step_cost: u64) -> Self {
+        Self {
+            clock: AtomicU64::new(0),
+            step_cost,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn step(&self, task: usize) -> u64 {
+        let after = self.clock.fetch_add(self.step_cost, Ordering::Relaxed) + self.step_cost;
+        self.log.lock().unwrap().push((task, after));
+        after
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    fn take_log(&self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.log.lock().unwrap())
+    }
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..12, 1..10)
+}
+
+/// Run the task set under the concurrent driver with `threads` workers.
+fn run_concurrent(steps: &[u64], threads: usize) -> (Vec<(usize, u64)>, u64, Vec<TaskTiming>) {
+    let system = LoggedSystem::new(10);
+    let tasks: Vec<_> = steps
+        .iter()
+        .enumerate()
+        .map(|(id, &n)| {
+            let mut left = n;
+            move |s: &LoggedSystem| {
+                s.step(id);
+                left -= 1;
+                left == 0
+            }
+        })
+        .collect();
+    let timings = ConcurrentDriver::run(&system, tasks, threads, || system.now());
+    (system.take_log(), system.now(), timings)
+}
+
+proptest! {
+    /// One concurrent thread is the sequential driver: identical visit order,
+    /// identical final clock, identical timings.
+    #[test]
+    fn one_thread_matches_round_robin(steps in steps_strategy()) {
+        let (concurrent_log, concurrent_clock, concurrent_timings) = run_concurrent(&steps, 1);
+
+        // Reference run through RoundRobinDriver over an equivalent system.
+        let reference = LoggedSystem::new(10);
+        let tasks: Vec<_> = steps
+            .iter()
+            .enumerate()
+            .map(|(id, &n)| {
+                let mut left = n;
+                move |s: &mut &LoggedSystem| {
+                    s.step(id);
+                    left -= 1;
+                    left == 0
+                }
+            })
+            .collect();
+        let mut shared = &reference;
+        let reference_timings = RoundRobinDriver::run(&mut shared, tasks, || reference.now());
+
+        prop_assert_eq!(concurrent_log, reference.take_log(), "visit order diverges");
+        prop_assert_eq!(concurrent_clock, reference.now(), "final clock diverges");
+        prop_assert_eq!(concurrent_timings, reference_timings, "timings diverge");
+    }
+
+    /// Whatever the thread count, every task performs exactly its number of
+    /// steps, the shared clock sums them all, and per-task timings are
+    /// well-formed.
+    #[test]
+    fn any_thread_count_applies_each_task_exactly_once(
+        steps in steps_strategy(),
+        threads in 1usize..9,
+    ) {
+        let (log, clock, timings) = run_concurrent(&steps, threads);
+        let total: u64 = steps.iter().sum();
+        prop_assert_eq!(clock, total * 10, "clock must sum every step");
+        prop_assert_eq!(log.len() as u64, total);
+        for (id, &n) in steps.iter().enumerate() {
+            let count = log.iter().filter(|&&(t, _)| t == id).count() as u64;
+            prop_assert_eq!(count, n, "task {} step count", id);
+        }
+        prop_assert_eq!(timings.len(), steps.len());
+        for t in &timings {
+            prop_assert!(t.end_us >= t.start_us);
+            prop_assert!(t.end_us <= total * 10);
+        }
+    }
+}

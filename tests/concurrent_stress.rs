@@ -1,0 +1,267 @@
+//! Stress/invariant suite for the concurrent serving layer: 8 threads of
+//! mixed read / update / create tasks (plus oblivious reads) hammer one
+//! shared system through [`ConcurrentDriver`], then every safety invariant is
+//! audited:
+//!
+//! * [`ObliviousStore::membership_is_consistent`] still holds;
+//! * block-class conservation on the sharded map — every block is in exactly
+//!   one class and the cached per-shard counters agree with the class
+//!   vectors (`data + dummy + unknown + reserved == num_blocks`);
+//! * every file reads back byte-identical to what its owner last wrote.
+//!
+//! Thread count defaults to 8 and can be pinned with `STEGFS_BENCH_THREADS`
+//! (the CI `concurrent-stress` job does exactly that).
+
+use std::sync::Mutex;
+
+use stegfs_repro::oblivious::{ObliviousConfig, ObliviousStore};
+use stegfs_repro::prelude::*;
+use stegfs_repro::stegfs::DEFAULT_MAP_SHARDS;
+use stegfs_repro::workload::ConcurrentDriver;
+use steghide::{AgentConfig, ConcurrentAgent, FileId};
+
+const USERS: usize = 8;
+const ROUNDS: u64 = 18;
+const FILE_BLOCKS: u64 = 6;
+const OBLIVIOUS_ITEMS: u64 = 64;
+
+/// Worker count: the bench harness's `STEGFS_BENCH_THREADS`/`--threads`
+/// policy (loud on invalid values), defaulting to 8 when unpinned.
+fn stress_threads() -> usize {
+    stegfs_bench::harness::bench_threads().unwrap_or(8)
+}
+
+/// The shared system the tasks run against: the lock-decomposed agent plus a
+/// coarsely locked oblivious store (its internal sharding is a ROADMAP
+/// follow-up; the stress point here is that mixing it into the same task mix
+/// keeps its membership invariant intact).
+struct SharedSystem {
+    agent: ConcurrentAgent<MemDevice>,
+    oblivious: Mutex<ObliviousStore<MemDevice, MemDevice>>,
+}
+
+fn build_system() -> (SharedSystem, Vec<FileId>) {
+    let agent = ConcurrentAgent::format(
+        MemDevice::new(4096, 512),
+        StegFsConfig::default().with_block_size(512),
+        AgentConfig::default(),
+        Key256::from_passphrase("stress agent"),
+        41,
+        DEFAULT_MAP_SHARDS,
+    )
+    .expect("format volume");
+    let per = agent.fs().content_bytes_per_block();
+    let ids: Vec<FileId> = (0..USERS)
+        .map(|u| {
+            let secret = Key256::from_passphrase(&format!("stress-user-{u}"));
+            agent
+                .create_file(
+                    &secret,
+                    &format!("/stress/u{u}"),
+                    &vec![u as u8; per * FILE_BLOCKS as usize],
+                )
+                .expect("create user file")
+        })
+        .collect();
+
+    let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(512);
+    let cfg = ObliviousConfig::new(8, OBLIVIOUS_ITEMS);
+    let mut store = ObliviousStore::new(
+        MemDevice::new(
+            ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, store_block),
+            store_block,
+        ),
+        MemDevice::new(
+            ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
+            ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(store_block),
+        ),
+        cfg,
+        Key256::from_passphrase("stress oblivious"),
+        9,
+        None,
+    )
+    .expect("oblivious store");
+    for id in 0..OBLIVIOUS_ITEMS {
+        store.insert(id, vec![id as u8; 128]).expect("populate");
+    }
+    (
+        SharedSystem {
+            agent,
+            oblivious: Mutex::new(store),
+        },
+        ids,
+    )
+}
+
+/// Deterministic fill byte user `u` writes to block `b` in round `r`.
+fn fill_byte(u: usize, r: u64, b: u64) -> u8 {
+    (0x40 ^ (u as u8) << 4 ^ (r as u8) << 1 ^ b as u8) | 1
+}
+
+#[test]
+fn eight_thread_mixed_workload_preserves_all_invariants() {
+    let (system, ids) = build_system();
+    let per = system.agent.fs().content_bytes_per_block();
+
+    // One task per user. Each round: update one block of the user's file,
+    // read another back, read an oblivious item; every third round the user
+    // also creates a fresh file. One block-granular op per driver step.
+    let tasks: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(u, &id)| {
+            let mut round = 0u64;
+            let mut step = 0u8;
+            let mut created = 0u64;
+            move |s: &SharedSystem| {
+                match step {
+                    0 => {
+                        let block = round % FILE_BLOCKS;
+                        let fill = fill_byte(u, round, block);
+                        s.agent
+                            .update_block(id, block, &vec![fill; per])
+                            .expect("update");
+                        step = 1;
+                    }
+                    1 => {
+                        let block = (round + 1) % FILE_BLOCKS;
+                        s.agent.read_block(id, block).expect("read");
+                        step = 2;
+                    }
+                    _ => {
+                        let item = (u as u64 * 7 + round) % OBLIVIOUS_ITEMS;
+                        let value = s
+                            .oblivious
+                            .lock()
+                            .unwrap()
+                            .read(item)
+                            .expect("oblivious read");
+                        assert_eq!(value[..128], vec![item as u8; 128][..], "item {item}");
+                        if round % 3 == 2 {
+                            let secret = Key256::from_passphrase(&format!("extra-{u}-{created}"));
+                            s.agent
+                                .create_file(
+                                    &secret,
+                                    &format!("/extra/u{u}/{created}"),
+                                    &vec![fill_byte(u, round, 63); per],
+                                )
+                                .expect("create extra file");
+                            created += 1;
+                        }
+                        round += 1;
+                        step = 0;
+                    }
+                }
+                round == ROUNDS && step == 0
+            }
+        })
+        .collect();
+
+    let threads = stress_threads();
+    let timings = ConcurrentDriver::run(&system, tasks, threads, || 0);
+    assert_eq!(timings.len(), USERS);
+
+    // ------------------------------------------------- invariant audits
+    // 1. Oblivious store membership is still consistent and items readable.
+    {
+        let mut store = system.oblivious.lock().unwrap();
+        assert!(store.membership_is_consistent());
+        for item in 0..OBLIVIOUS_ITEMS {
+            assert_eq!(
+                store.read(item).expect("post-run read")[..128],
+                vec![item as u8; 128][..]
+            );
+        }
+    }
+
+    // 2. Block-class conservation on the sharded map.
+    let map = system.agent.map();
+    assert!(map.counters_are_consistent(), "cached counters drifted");
+    assert_eq!(
+        map.data_blocks() + map.dummy_blocks() + map.unknown_blocks() + map.reserved_blocks(),
+        map.num_blocks(),
+        "class conservation violated"
+    );
+    assert_eq!(map.reserved_blocks(), 1, "only the superblock is reserved");
+    assert_eq!(
+        map.unknown_blocks(),
+        0,
+        "construction 1 has a complete view"
+    );
+
+    // 3. Every user file reads back byte-identical to the last write of each
+    //    block (updates in a round-robin over the blocks: the final content
+    //    of block b is the fill of the last round that updated it).
+    for (u, &id) in ids.iter().enumerate() {
+        let read = system.agent.read_file(id).expect("read back");
+        for b in 0..FILE_BLOCKS {
+            let last_round = (0..ROUNDS).rev().find(|r| r % FILE_BLOCKS == b).unwrap();
+            let expected = fill_byte(u, last_round, b);
+            assert_eq!(
+                read[(b as usize) * per],
+                expected,
+                "user {u} block {b}: expected fill of round {last_round}"
+            );
+            assert!(
+                read[(b as usize) * per..(b as usize + 1) * per]
+                    .iter()
+                    .all(|&x| x == expected),
+                "user {u} block {b} partially written"
+            );
+        }
+    }
+
+    // 4. The extra files created mid-run read back too, after a flush.
+    system.agent.flush().expect("flush");
+    let stats = system.agent.stats();
+    assert_eq!(stats.data_updates, USERS as u64 * ROUNDS);
+    for u in 0..USERS {
+        for c in 0..ROUNDS / 3 {
+            let secret = Key256::from_passphrase(&format!("extra-{u}-{c}"));
+            let id = system
+                .agent
+                .open_file(&secret, &format!("/extra/u{u}/{c}"))
+                .expect("open extra file");
+            let content = system.agent.read_file(id).expect("read extra");
+            assert_eq!(content.len(), per);
+        }
+    }
+}
+
+/// The same mix at one thread is the sequential reference: everything above
+/// must hold there too (and this anchors the equivalence the proptests check
+/// at the driver level).
+#[test]
+fn single_thread_reference_run_passes_the_same_audits() {
+    let (system, ids) = build_system();
+    let per = system.agent.fs().content_bytes_per_block();
+    let tasks: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(u, &id)| {
+            let mut round = 0u64;
+            move |s: &SharedSystem| {
+                let block = round % FILE_BLOCKS;
+                s.agent
+                    .update_block(id, block, &vec![fill_byte(u, round, block); per])
+                    .expect("update");
+                round += 1;
+                round == ROUNDS
+            }
+        })
+        .collect();
+    ConcurrentDriver::run(&system, tasks, 1, || 0);
+    let map = system.agent.map();
+    assert!(map.counters_are_consistent());
+    assert_eq!(
+        map.data_blocks() + map.dummy_blocks() + map.unknown_blocks() + map.reserved_blocks(),
+        map.num_blocks()
+    );
+    for (u, &id) in ids.iter().enumerate() {
+        let read = system.agent.read_file(id).expect("read back");
+        for b in 0..FILE_BLOCKS {
+            let last_round = (0..ROUNDS).rev().find(|r| r % FILE_BLOCKS == b).unwrap();
+            assert_eq!(read[(b as usize) * per], fill_byte(u, last_round, b));
+        }
+    }
+}

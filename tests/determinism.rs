@@ -98,6 +98,73 @@ fn security_analysis_trace_is_bit_for_bit_reproducible() {
     );
 }
 
+/// The concurrent serving layer in single-threaded mode
+/// (`STEGFS_BENCH_THREADS=1` on the bins, `threads = 1` on the driver) must
+/// remain bit-for-bit deterministic: one worker round-robins the tasks in
+/// input order, so the agent's DRBGs are consumed in a fixed sequence and two
+/// identically seeded runs observe identical physical traces. (Multi-threaded
+/// runs are *value*-deterministic — every file reads back what was last
+/// written, invariants hold — but trace order depends on scheduling; see the
+/// README's Concurrency section.)
+fn concurrent_single_thread_trace() -> (Vec<(IoKind, u64)>, Vec<u8>) {
+    use stegfs_repro::workload::ConcurrentDriver;
+    use steghide::{AgentConfig, ConcurrentAgent};
+
+    let log = TraceLog::new();
+    let device = TracingDevice::with_log(MemDevice::new(1024, 512), log.clone());
+    let agent = ConcurrentAgent::format(
+        device,
+        StegFsConfig::default().with_block_size(512),
+        AgentConfig::default(),
+        Key256::from_passphrase("determinism concurrent"),
+        61,
+        8,
+    )
+    .expect("format");
+    let per = agent.fs().content_bytes_per_block();
+    let ids: Vec<_> = (0..3)
+        .map(|u| {
+            let secret = Key256::from_passphrase(&format!("det-user-{u}"));
+            agent
+                .create_file(&secret, &format!("/det{u}"), &vec![u as u8; per * 4])
+                .expect("create")
+        })
+        .collect();
+
+    log.clear();
+    let tasks: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(u, &id)| {
+            let mut round = 0u64;
+            move |a: &ConcurrentAgent<TracingDevice<MemDevice>>| {
+                a.update_block(id, round % 4, &vec![(u as u8) ^ round as u8; per])
+                    .expect("update");
+                a.dummy_update_batch(2).expect("dummy batch");
+                round += 1;
+                round == 10
+            }
+        })
+        .collect();
+    ConcurrentDriver::run(&agent, tasks, 1, || 0);
+
+    let trace = log.records().iter().map(|r| (r.kind, r.block)).collect();
+    let content = agent.read_file(ids[0]).expect("read back");
+    (trace, content)
+}
+
+#[test]
+fn concurrent_driver_single_thread_is_bit_for_bit_reproducible() {
+    let (trace_a, content_a) = concurrent_single_thread_trace();
+    let (trace_b, content_b) = concurrent_single_thread_trace();
+    assert!(!trace_a.is_empty());
+    assert_eq!(
+        trace_a, trace_b,
+        "two in-process single-threaded concurrent runs must produce identical I/O traces"
+    );
+    assert_eq!(content_a, content_b);
+}
+
 #[test]
 fn store_state_is_reproducible_after_heavy_cascades() {
     let run = || {

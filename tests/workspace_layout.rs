@@ -82,6 +82,7 @@ fn expected_figure_and_table_bins_exist() {
         "overhead_model",
         "crypto_baseline",
         "oblivious_baseline",
+        "concurrent_baseline",
     ] {
         assert!(
             on_disk.contains(required),

@@ -469,6 +469,17 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format_args!($($fmt)+),
+            left,
+            right
+        );
+    }};
 }
 
 #[macro_export]
@@ -479,6 +490,16 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`: {}\n  both: `{:?}`",
+            format_args!($($fmt)+),
             left
         );
     }};
