@@ -17,7 +17,7 @@ fn build_store(buffer_blocks: u64, items: u64) -> ObliviousStore<MemDevice, MemD
         ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
         ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(block),
     );
-    let mut store = ObliviousStore::new(
+    let store = ObliviousStore::new(
         device,
         sort_device,
         cfg,
@@ -36,7 +36,7 @@ fn bench_oblivious_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("oblivious_read");
     for (label, buffer, items) in [("k3", 64u64, 512u64), ("k5", 16, 512)] {
         group.bench_with_input(BenchmarkId::new("height", label), &(), |b, _| {
-            let mut store = build_store(buffer, items);
+            let store = build_store(buffer, items);
             let mut rng = HashDrbg::from_u64(5);
             b.iter(|| {
                 let id = rng.gen_range(items);
@@ -49,7 +49,7 @@ fn bench_oblivious_read(c: &mut Criterion) {
 
 fn bench_oblivious_overwrite(c: &mut Criterion) {
     c.bench_function("oblivious_overwrite", |b| {
-        let mut store = build_store(32, 512);
+        let store = build_store(32, 512);
         let mut rng = HashDrbg::from_u64(6);
         b.iter(|| {
             let id = rng.gen_range(512);

@@ -131,7 +131,7 @@ fn oblivious_read_positions(skewed: bool, reads: u64) -> (Vec<u64>, u64) {
         ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
         ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(store_block),
     );
-    let mut store = ObliviousStore::new(
+    let store = ObliviousStore::new(
         device,
         sort_device,
         cfg,

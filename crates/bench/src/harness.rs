@@ -625,7 +625,7 @@ pub fn oblivious_sweep_scaled(
         model,
         clock.clone(),
     );
-    let mut store = ObliviousStore::new(
+    let store = ObliviousStore::new(
         device,
         sort_device,
         cfg,

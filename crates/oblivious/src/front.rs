@@ -7,7 +7,16 @@
 //! once* — after which it is served obliviously from the cache — and that the
 //! sequence of first-time fetches, interleaved with dummy reads, looks like a
 //! uniformly random process to an observer of the partition.
+//!
+//! Like the store it fronts, the read front takes `&self` everywhere: the
+//! fetch bookkeeping (the set `S` of Figure 8(a)) lives behind a `RwLock`,
+//! the draw DRBG behind a `Mutex`, and the counters are relaxed atomics.
+//! Lock order: fetch state → DRBG → store locks (a guard on the fetch state
+//! may be held while calling into the store, never the reverse).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
 use stegfs_blockdev::{BlockDevice, BlockId};
 use stegfs_crypto::HashDrbg;
 
@@ -29,15 +38,42 @@ pub struct FrontStats {
     pub steg_dummy_reads: u64,
 }
 
+/// Relaxed-atomic mirror of [`FrontStats`] for the `&self` read path.
+#[derive(Debug, Default)]
+struct SharedFrontStats {
+    reads_served: AtomicU64,
+    cache_hits: AtomicU64,
+    steg_fetches: AtomicU64,
+    steg_dummy_reads: AtomicU64,
+}
+
+impl SharedFrontStats {
+    fn snapshot(&self) -> FrontStats {
+        FrontStats {
+            reads_served: self.reads_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            steg_fetches: self.steg_fetches.load(Ordering::Relaxed),
+            steg_dummy_reads: self.steg_dummy_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The already-fetched set `S` of Figure 8(a): insertion-ordered for decoy
+/// sampling, hashed for membership checks.
+#[derive(Default)]
+struct FetchState {
+    fetched: Vec<BlockId>,
+    fetched_set: DetHashSet<BlockId>,
+}
+
 /// The oblivious read front (Figure 8(a)) combining a StegFS partition device
 /// with an [`ObliviousStore`] cache.
 pub struct ObliviousReadFront<P, D, S> {
     steg_partition: P,
     store: ObliviousStore<D, S>,
-    fetched: Vec<BlockId>,
-    fetched_set: DetHashSet<BlockId>,
-    rng: HashDrbg,
-    stats: FrontStats,
+    state: RwLock<FetchState>,
+    rng: Mutex<HashDrbg>,
+    stats: SharedFrontStats,
 }
 
 impl<P, D, S> ObliviousReadFront<P, D, S>
@@ -51,10 +87,9 @@ where
         Self {
             steg_partition,
             store,
-            fetched: Vec::new(),
-            fetched_set: DetHashSet::default(),
-            rng: HashDrbg::new(&seed.to_be_bytes()),
-            stats: FrontStats::default(),
+            state: RwLock::new(FetchState::default()),
+            rng: Mutex::new(HashDrbg::new(&seed.to_be_bytes())),
+            stats: SharedFrontStats::default(),
         }
     }
 
@@ -68,12 +103,12 @@ where
         &self.steg_partition
     }
 
-    /// Counters collected so far.
+    /// Counters collected so far (a relaxed snapshot; exact at quiescence).
     pub fn stats(&self) -> FrontStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn read_steg_raw(&mut self, block: BlockId) -> Result<Vec<u8>, ObliviousError> {
+    fn read_steg_raw(&self, block: BlockId) -> Result<Vec<u8>, ObliviousError> {
         let mut buf = vec![0u8; self.steg_partition.block_size()];
         self.steg_partition.read_block(block, &mut buf)?;
         Ok(buf)
@@ -89,28 +124,52 @@ where
     /// and re-draw. Only when the draw falls outside `S` is the wanted block
     /// actually copied into the cache — so the partition sees reads whose
     /// positions are uniform and independent of the request stream.
-    pub fn read_block(&mut self, block: BlockId) -> Result<Vec<u8>, ObliviousError> {
-        self.stats.reads_served += 1;
+    pub fn read_block(&self, block: BlockId) -> Result<Vec<u8>, ObliviousError> {
+        self.stats.reads_served.fetch_add(1, Ordering::Relaxed);
         if self.store.contains(block) {
-            self.stats.cache_hits += 1;
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             return self.store.read(block);
         }
 
         let m = self.steg_partition.num_blocks();
         loop {
-            let x = self.rng.gen_range(m);
-            if x < self.fetched.len() as u64 {
-                // Decoy: read a random already-fetched block and try again.
-                let decoy = self.fetched[self.rng.gen_range(self.fetched.len() as u64) as usize];
+            // Draw under one DRBG lock with the fetch state held shared, so
+            // the draw is compared against the same `|S|` a decoy would be
+            // sampled from; the partition wait happens outside both locks.
+            let decoy: Option<BlockId> = {
+                let state = self.state.read();
+                let mut rng = self.rng.lock();
+                let x = rng.gen_range(m);
+                if x < state.fetched.len() as u64 {
+                    let idx = rng.gen_range(state.fetched.len() as u64) as usize;
+                    Some(state.fetched[idx])
+                } else {
+                    None
+                }
+            };
+            if let Some(decoy) = decoy {
                 let _ = self.read_steg_raw(decoy)?;
-                self.stats.steg_dummy_reads += 1;
+                self.stats.steg_dummy_reads.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            // Genuine fetch.
+
+            // Genuine fetch. The racing-fetch check runs under the state
+            // write lock, and the winner inserts into the store while still
+            // holding it — so a loser that observes `block ∈ S` knows the
+            // cache copy is already in place.
             let raw = self.read_steg_raw(block)?;
-            self.stats.steg_fetches += 1;
-            self.fetched.push(block);
-            self.fetched_set.insert(block);
+            let mut state = self.state.write();
+            if state.fetched_set.contains(&block) {
+                // Another thread fetched it first; our partition read was
+                // indistinguishable from a decoy, and the cached copy (which
+                // may be fresher than our raw bytes) is authoritative.
+                drop(state);
+                self.stats.steg_dummy_reads.fetch_add(1, Ordering::Relaxed);
+                return self.store.read(block);
+            }
+            self.stats.steg_fetches.fetch_add(1, Ordering::Relaxed);
+            state.fetched.push(block);
+            state.fetched_set.insert(block);
             self.store.insert(block, raw.clone())?;
             return Ok(raw);
         }
@@ -118,24 +177,25 @@ where
 
     /// Issue one dummy read against the StegFS partition ("dummy reads are
     /// also mixed in to conceal the real reads", Section 5.1.1).
-    pub fn dummy_read(&mut self) -> Result<(), ObliviousError> {
+    pub fn dummy_read(&self) -> Result<(), ObliviousError> {
         let m = self.steg_partition.num_blocks();
-        let block = self.rng.gen_range(m);
+        let block = self.rng.lock().gen_range(m);
         let _ = self.read_steg_raw(block)?;
-        self.stats.steg_dummy_reads += 1;
+        self.stats.steg_dummy_reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Write-through: update the cached copy of `block` (the caller is
     /// responsible for also updating the StegFS partition through the
     /// update-hiding agent, Section 5.1.2).
-    pub fn write_back(&mut self, block: BlockId, raw: Vec<u8>) -> Result<(), ObliviousError> {
-        if self.store.contains(block) || self.fetched_set.contains(&block) {
+    pub fn write_back(&self, block: BlockId, raw: Vec<u8>) -> Result<(), ObliviousError> {
+        let mut state = self.state.write();
+        if self.store.contains(block) || state.fetched_set.contains(&block) {
             self.store.write(block, raw)
         } else {
-            self.stats.steg_fetches += 1;
-            self.fetched.push(block);
-            self.fetched_set.insert(block);
+            self.stats.steg_fetches.fetch_add(1, Ordering::Relaxed);
+            state.fetched.push(block);
+            state.fetched_set.insert(block);
             self.store.insert(block, raw)
         }
     }
@@ -143,7 +203,7 @@ where
     /// Number of distinct partition blocks fetched so far (the size of the
     /// set `S` in Figure 8(a)).
     pub fn fetched_len(&self) -> usize {
-        self.fetched.len()
+        self.state.read().fetched.len()
     }
 }
 
@@ -184,7 +244,7 @@ mod tests {
 
     #[test]
     fn reads_return_partition_contents() {
-        let mut front = new_front(64);
+        let front = new_front(64);
         for b in [3u64, 17, 40, 3, 17] {
             let data = front.read_block(b).unwrap();
             assert!(data.iter().all(|&x| x == (b % 251) as u8), "block {b}");
@@ -197,7 +257,7 @@ mod tests {
 
     #[test]
     fn each_partition_block_is_fetched_at_most_once() {
-        let mut front = new_front(32);
+        let front = new_front(32);
         for round in 0..3 {
             for b in 0..32u64 {
                 let data = front.read_block(b).unwrap();
@@ -210,7 +270,7 @@ mod tests {
 
     #[test]
     fn decoy_reads_only_touch_already_fetched_blocks() {
-        let mut front = new_front(16);
+        let front = new_front(16);
         // Fetch a few blocks, then observe the partition trace: every read
         // must address either a first-time fetch or an already fetched block.
         let mut wanted = HashSet::new();
@@ -236,7 +296,7 @@ mod tests {
 
     #[test]
     fn dummy_reads_touch_the_partition() {
-        let mut front = new_front(32);
+        let front = new_front(32);
         for _ in 0..10 {
             front.dummy_read().unwrap();
         }
@@ -246,12 +306,37 @@ mod tests {
 
     #[test]
     fn write_back_updates_cached_copy() {
-        let mut front = new_front(32);
+        let front = new_front(32);
         front.read_block(4).unwrap();
         front.write_back(4, vec![0xAB; STEG_BLOCK]).unwrap();
         assert_eq!(front.read_block(4).unwrap(), vec![0xAB; STEG_BLOCK]);
         // Write-back of a never-read block is also cached and served later.
         front.write_back(20, vec![0xCD; STEG_BLOCK]).unwrap();
         assert_eq!(front.read_block(20).unwrap(), vec![0xCD; STEG_BLOCK]);
+    }
+
+    #[test]
+    fn concurrent_readers_fetch_each_block_once() {
+        let front = new_front(32);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let front = &front;
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        let b = (t * 11 + i * 3) % 32;
+                        let data = front.read_block(b).unwrap();
+                        assert_eq!(data[0], (b % 251) as u8, "block {b}");
+                    }
+                });
+            }
+        });
+        let stats = front.stats();
+        assert_eq!(stats.reads_served, 4 * 64);
+        assert_eq!(
+            stats.steg_fetches, 32,
+            "racing readers must not double-fetch a partition block"
+        );
+        assert_eq!(front.fetched_len(), 32);
+        assert!(front.store().membership_is_consistent());
     }
 }

@@ -30,7 +30,15 @@
 //! needed because the oblivious store shuffles blocks constantly and the
 //! agent cannot update headers of files whose owners are not logged in.
 //!
-//! Two implementation properties matter for the reproduction:
+//! Three implementation properties matter for the reproduction:
+//!
+//! * **concurrent readers** — every store and front method takes `&self`:
+//!   the front buffer, membership set and each hierarchy level sit behind
+//!   their own `RwLock`, counters are relaxed atomics, and structural
+//!   flush/dump cascades write-lock only the levels they restructure. A
+//!   single-threaded caller sees bit-for-bit the sequential behaviour; at N
+//!   threads the store is value-deterministic (every id reads back its last
+//!   write) while trace order depends on scheduling;
 //!
 //! * **batched maintenance I/O** — level sweeps, the external sort's run
 //!   spills/refills and index rebuilds move data through the ranged
@@ -61,6 +69,6 @@ pub use config::ObliviousConfig;
 pub use det::{DetHashMap, DetHashSet, DetHasher};
 pub use error::ObliviousError;
 pub use extsort::{ExternalSorter, SortRecord};
-pub use front::ObliviousReadFront;
-pub use stats::ObliviousStats;
+pub use front::{FrontStats, ObliviousReadFront};
+pub use stats::{ObliviousStats, SharedObliviousStats};
 pub use store::ObliviousStore;

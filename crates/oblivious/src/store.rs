@@ -1,5 +1,32 @@
-//! The oblivious storage proper: Figure 8(b).
+//! The oblivious storage proper: Figure 8(b), decomposed for concurrent
+//! readers.
+//!
+//! The store is split into a **shared read side** and a **structural write
+//! side** so that the serving layer can point many threads at one
+//! `&ObliviousStore`:
+//!
+//! * the read side (`read`, `contains`, `stats`, audits) takes `&self`: the
+//!   front buffer and the membership set sit behind `RwLock`s, each hierarchy
+//!   level behind its own `RwLock`, and the counters are relaxed atomics
+//!   ([`SharedObliviousStats`]) — a read holds at most one level lock at a
+//!   time, shared with every other reader touching that level;
+//! * the structural side (buffer flushes and the cascading `dump` of Figure
+//!   8(b)) acquires the front-buffer write lock plus write locks on exactly
+//!   the levels it restructures, so concurrent reads on untouched levels
+//!   proceed while a flush rewrites the deep hierarchy.
+//!
+//! Lock order (documented in the README's Concurrency section): membership →
+//! front buffer → level locks in ascending level order → DRBG. Readers take a
+//! single level lock at a time and never acquire one while holding the DRBG;
+//! structural passes acquire all their level write locks before touching the
+//! DRBG, so the order is total and deadlock-free. The [`write
+//! epoch`](ObliviousStore::write_epoch) is bumped entering and leaving every
+//! structural pass (odd while one is in flight) — the observable guard that
+//! flushes never interleave with each other.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use stegfs_base::BlockCodec;
 use stegfs_blockdev::{sim::SimClock, BlockDevice};
 use stegfs_crypto::{HashDrbg, Key256};
@@ -9,7 +36,15 @@ use crate::det::{DetHashMap, DetHashSet};
 use crate::error::ObliviousError;
 use crate::extsort::ExternalSorter;
 use crate::level::{Level, MaintenanceIo};
-use crate::stats::ObliviousStats;
+use crate::stats::{ObliviousStats, SharedObliviousStats};
+
+/// Agent-memory front buffer: the items awaiting their first flush, plus an
+/// id → position index mirroring the entry vector exactly.
+#[derive(Default)]
+struct FrontBuffer {
+    entries: Vec<(u64, Vec<u8>)>,
+    index: DetHashMap<u64, usize>,
+}
 
 /// The hierarchical oblivious store of Section 5.
 ///
@@ -17,19 +52,28 @@ use crate::stats::ObliviousStats;
 /// `S` is the sort-partition device used by the external merge sort during
 /// re-ordering. Both are typically wrappers around the same simulated disk in
 /// the benchmark harness.
+///
+/// Every method takes `&self`; the store is `Sync` and is shared across the
+/// serving layer's worker threads by reference. A single-threaded caller
+/// observes exactly the sequential semantics (the DRBG is consumed in the
+/// same order as the pre-decomposition store, so traces are bit-for-bit
+/// identical); multi-threaded runs are value-deterministic — every item reads
+/// back what was last written — while trace order depends on scheduling.
 pub struct ObliviousStore<D, S> {
     device: D,
     sorter: ExternalSorter<S>,
     codec: BlockCodec,
     cfg: ObliviousConfig,
-    levels: Vec<Level>,
-    buffer: Vec<(u64, Vec<u8>)>,
-    buffer_index: DetHashMap<u64, usize>,
-    membership: DetHashSet<u64>,
+    levels: Vec<RwLock<Level>>,
+    front: RwLock<FrontBuffer>,
+    membership: RwLock<DetHashSet<u64>>,
     master_key: Key256,
-    rng: HashDrbg,
-    stats: ObliviousStats,
+    rng: Mutex<HashDrbg>,
+    stats: SharedObliviousStats,
     clock: Option<SimClock>,
+    /// Structural-pass guard: even at rest, odd while a flush/dump cascade is
+    /// rewriting levels. Bumped entering and leaving [`Self::flush_buffer`].
+    write_epoch: AtomicU64,
 }
 
 impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
@@ -97,7 +141,7 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
         for i in 1..=cfg.num_levels() {
             let (level, next) =
                 Level::layout(i, offset, cfg.level_capacity(i), block_size, &master_key);
-            levels.push(level);
+            levels.push(RwLock::new(level));
             offset = next;
         }
 
@@ -107,13 +151,13 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
             codec: BlockCodec::new(block_size),
             cfg,
             levels,
-            buffer: Vec::new(),
-            buffer_index: DetHashMap::default(),
-            membership: DetHashSet::default(),
+            front: RwLock::new(FrontBuffer::default()),
+            membership: RwLock::new(DetHashSet::default()),
             master_key,
-            rng: HashDrbg::new(&seed.to_be_bytes()),
-            stats: ObliviousStats::default(),
+            rng: Mutex::new(HashDrbg::new(&seed.to_be_bytes())),
+            stats: SharedObliviousStats::default(),
             clock,
+            write_epoch: AtomicU64::new(0),
         })
     }
 
@@ -134,29 +178,40 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
 
     /// Whether logical block `id` is cached anywhere in the store.
     pub fn contains(&self, id: u64) -> bool {
-        self.membership.contains(&id)
+        self.membership.read().contains(&id)
     }
 
     /// Number of distinct logical blocks cached.
     pub fn len(&self) -> usize {
-        self.membership.len()
+        self.membership.read().len()
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.membership.is_empty()
+        self.membership.read().is_empty()
     }
 
-    /// Counters collected so far.
+    /// Counters collected so far (a relaxed snapshot; exact at quiescence).
     pub fn stats(&self) -> ObliviousStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The structural-pass counter: even when no flush/dump cascade is in
+    /// flight, odd while one is rewriting levels. Two increments per
+    /// completed pass, so `write_epoch() / 2` counts structural passes. This
+    /// is the write-epoch guard the serving layer can observe: readers do not
+    /// consult it (the per-level locks already exclude them from levels under
+    /// rewrite), but audits assert it is even at quiescence.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch.load(Ordering::Acquire)
     }
 
     /// Number of items per level, buffer first — handy for tests and the
-    /// benchmark harness.
+    /// benchmark harness. Exact at quiescence; a moment-in-time sample while
+    /// other threads are active.
     pub fn occupancy(&self) -> Vec<usize> {
-        let mut v = vec![self.buffer.len()];
-        v.extend(self.levels.iter().map(|l| l.len()));
+        let mut v = vec![self.front.read().entries.len()];
+        v.extend(self.levels.iter().map(|l| l.read().len()));
         v
     }
 
@@ -167,33 +222,40 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
     /// Insert (or overwrite) a cached item. New items enter through the
     /// agent's buffer exactly like freshly read ones, so an attacker cannot
     /// tell an insert-triggered flush from a read-triggered one.
-    pub fn insert(&mut self, id: u64, payload: Vec<u8>) -> Result<(), ObliviousError> {
+    ///
+    /// The membership write lock is held across the buffer update (and any
+    /// flush it triggers) so a concurrent reader that observes `id` as a
+    /// member is guaranteed to find its value in the buffer or a level.
+    pub fn insert(&self, id: u64, payload: Vec<u8>) -> Result<(), ObliviousError> {
         if payload.len() > self.item_capacity() {
             return Err(ObliviousError::ItemTooLarge {
                 got: payload.len(),
                 max: self.item_capacity(),
             });
         }
-        if self.membership.len() >= self.cfg.last_level_blocks as usize && !self.contains(id) {
+        let mut membership = self.membership.write();
+        if membership.len() >= self.cfg.last_level_blocks as usize && !membership.contains(&id) {
             return Err(ObliviousError::CapacityExhausted);
         }
-        self.stats.inserts += 1;
-        self.membership.insert(id);
-        if let Some(&pos) = self.buffer_index.get(&id) {
-            self.buffer[pos].1 = payload;
+        self.stats.count_insert();
+        membership.insert(id);
+        let mut front = self.front.write();
+        if let Some(&pos) = front.index.get(&id) {
+            front.entries[pos].1 = payload;
             return Ok(());
         }
-        self.buffer_index.insert(id, self.buffer.len());
-        self.buffer.push((id, payload));
-        if self.buffer.len() >= self.cfg.buffer_blocks as usize {
-            self.flush_buffer()?;
+        let pos = front.entries.len();
+        front.index.insert(id, pos);
+        front.entries.push((id, payload));
+        if front.entries.len() >= self.cfg.buffer_blocks as usize {
+            self.flush_buffer(&mut front)?;
         }
         Ok(())
     }
 
     /// Overwrite the cached copy of `id`. Identical to [`ObliviousStore::insert`];
     /// provided for readability at call sites that update rather than fetch.
-    pub fn write(&mut self, id: u64, payload: Vec<u8>) -> Result<(), ObliviousError> {
+    pub fn write(&self, id: u64, payload: Vec<u8>) -> Result<(), ObliviousError> {
         self.insert(id, payload)
     }
 
@@ -202,37 +264,45 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
     /// The request touches one index bucket and one data slot in *every*
     /// level, regardless of where (or whether) the block was found, so the
     /// observable access pattern is independent of the request stream.
-    pub fn read(&mut self, id: u64) -> Result<Vec<u8>, ObliviousError> {
+    ///
+    /// Concurrent readers interleave freely: each holds one level's read
+    /// lock while probing it (shared with other readers of the same level)
+    /// and drops it before moving to the next. Correctness under a racing
+    /// flush follows from the cascade moving items strictly *downward* —
+    /// the same direction this scan proceeds — and from fresher copies
+    /// always sitting at shallower levels.
+    pub fn read(&self, id: u64) -> Result<Vec<u8>, ObliviousError> {
         if !self.contains(id) {
             return Err(ObliviousError::NotCached { id });
         }
-        self.stats.reads_served += 1;
+        self.stats.count_read_served();
 
         // Buffer hit: served from agent memory, no storage I/O (Figure 8(b)).
-        if let Some(&pos) = self.buffer_index.get(&id) {
-            self.stats.buffer_hits += 1;
-            return Ok(self.buffer[pos].1.clone());
+        {
+            let front = self.front.read();
+            if let Some(&pos) = front.index.get(&id) {
+                self.stats.count_buffer_hit();
+                return Ok(front.entries[pos].1.clone());
+            }
         }
 
         let start = self.now_us();
         let mut found: Option<Vec<u8>> = None;
         let mut retrieve_ios = 0u64;
-        for li in 0..self.levels.len() {
-            let (do_real_lookup, capacity, len) = {
-                let level = &self.levels[li];
-                (found.is_none(), level.capacity, level.len() as u64)
-            };
-            if do_real_lookup && len > 0 {
-                let (slot, index_reads) = self.levels[li].lookup(&self.device, id)?;
+        for (li, slot) in self.levels.iter().enumerate() {
+            let level = slot.read();
+            let len = level.len() as u64;
+            if found.is_none() && len > 0 {
+                let (hit, index_reads) = level.lookup(&self.device, id)?;
                 retrieve_ios += index_reads;
-                match slot {
-                    Some(slot) => {
+                match hit {
+                    Some(data_slot) => {
                         let (read_id, payload) =
-                            self.levels[li].read_slot(&self.device, &self.codec, slot)?;
+                            level.read_slot(&self.device, &self.codec, data_slot)?;
                         retrieve_ios += 1;
                         if read_id != id {
                             return Err(ObliviousError::Corrupt(format!(
-                                "slot {slot} of level {} holds id {read_id}, expected {id}",
+                                "slot {data_slot} of level {} holds id {read_id}, expected {id}",
                                 li + 1
                             )));
                         }
@@ -240,35 +310,46 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
                     }
                     None => {
                         // Not in this level: still read a random data slot so
-                        // the level sees exactly one data access.
-                        let slot = self.rng.gen_range(len.max(1));
-                        self.levels[li].read_slot_raw(&self.device, &self.codec, slot)?;
+                        // the level sees exactly one data access. The DRBG
+                        // lock is released before the device wait.
+                        let data_slot = self.rng.lock().gen_range(len.max(1));
+                        level.read_slot_raw(&self.device, &self.codec, data_slot)?;
                         retrieve_ios += 1;
                     }
                 }
             } else {
                 // Either the block was already found higher up, or the level
                 // is empty: issue dummy probes so every read looks the same.
-                let bucket = self.rng.next_u64() % self.levels[li].index.num_blocks;
-                self.levels[li].dummy_index_probe(&self.device, bucket)?;
-                let slot = self.rng.gen_range(capacity);
-                self.levels[li].read_slot_raw(&self.device, &self.codec, slot)?;
+                let bucket = self.rng.lock().next_u64() % level.index.num_blocks;
+                level.dummy_index_probe(&self.device, bucket)?;
+                let data_slot = self.rng.lock().gen_range(level.capacity);
+                level.read_slot_raw(&self.device, &self.codec, data_slot)?;
                 retrieve_ios += 2;
             }
         }
-        self.stats.retrieve_ios += retrieve_ios;
-        self.stats.retrieve_time_us += self.now_us() - start;
+        self.stats.add_retrieve(retrieve_ios, self.now_us() - start);
 
-        let payload = found.ok_or(ObliviousError::Corrupt(format!(
-            "membership set contains {id} but no level holds it"
-        )))?;
+        let payload = found.ok_or_else(|| {
+            ObliviousError::Corrupt(format!(
+                "membership set contains {id} but no level holds it"
+            ))
+        })?;
 
         // Figure 8(b): "add B1 to buffer; if buffer is full ... copy buffer
-        // into level1".
-        self.buffer_index.insert(id, self.buffer.len());
-        self.buffer.push((id, payload.clone()));
-        if self.buffer.len() >= self.cfg.buffer_blocks as usize {
-            self.flush_buffer()?;
+        // into level1". If a racing reader or writer already re-buffered the
+        // id, the buffer copy is at least as fresh as our level copy — keep
+        // it (sequentially this branch is never taken: the buffer was
+        // checked above and nothing ran in between).
+        {
+            let mut front = self.front.write();
+            if !front.index.contains_key(&id) {
+                let pos = front.entries.len();
+                front.index.insert(id, pos);
+                front.entries.push((id, payload.clone()));
+                if front.entries.len() >= self.cfg.buffer_blocks as usize {
+                    self.flush_buffer(&mut front)?;
+                }
+            }
         }
 
         Ok(payload)
@@ -280,84 +361,103 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
     /// ([`Level::merge_reorder`]): buffer copies win on duplicate ids (they
     /// are fresher) and the level's old contents flow straight from ranged
     /// reads into the external sort without being materialized.
-    fn flush_buffer(&mut self) -> Result<(), ObliviousError> {
-        if self.buffer.is_empty() {
+    ///
+    /// Called with the front-buffer write lock held (every structural entry
+    /// point holds it), which makes structural passes mutually exclusive;
+    /// the write epoch records that exclusivity observably.
+    fn flush_buffer(&self, front: &mut FrontBuffer) -> Result<(), ObliviousError> {
+        if front.entries.is_empty() {
             return Ok(());
         }
-        let start = self.now_us();
-        let mut io = MaintenanceIo::default();
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        let result = self.flush_buffer_inner(front);
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        result
+    }
 
-        let incoming = self.buffer.len();
-        if !self.levels[0].can_accept(incoming) {
-            io = Self::merge_io(io, self.dump(0)?);
+    fn flush_buffer_inner(&self, front: &mut FrontBuffer) -> Result<(), ObliviousError> {
+        let start = self.now_us();
+
+        // Plan the cascade, acquiring level write locks in ascending order
+        // (all of them before the DRBG — the documented lock order). `plan`
+        // holds the levels that will be collected and cleared; `in_place` is
+        // the last level when the hierarchy is genuinely at capacity and it
+        // must re-order in place instead of dumping further down.
+        let mut guards: Vec<RwLockWriteGuard<'_, Level>> = vec![self.levels[0].write()];
+        let mut plan: Vec<usize> = Vec::new();
+        let mut in_place: Option<usize> = None;
+        if !guards[0].can_accept(front.entries.len()) {
+            let mut d = 0usize;
+            loop {
+                if d + 1 == self.levels.len() {
+                    in_place = Some(d);
+                    break;
+                }
+                plan.push(d);
+                guards.push(self.levels[d + 1].write());
+                let upper_len = guards[d].len();
+                if guards[d + 1].can_accept(upper_len) {
+                    break;
+                }
+                d += 1;
+            }
+        }
+
+        let mut rng = self.rng.lock();
+        let mut io = MaintenanceIo::default();
+        let mut reorders = 0u64;
+
+        // Deepest first, exactly as the recursive dump of Figure 8(b).
+        if let Some(ip) = in_place {
+            let reorder_io = guards[ip].merge_reorder(
+                &self.device,
+                &self.codec,
+                &self.sorter,
+                &self.master_key,
+                &mut rng,
+                Vec::new(),
+            )?;
+            io = Self::merge_io(io, reorder_io);
+            reorders += 1;
+        }
+        for &d in plan.iter().rev() {
+            // Only the (strictly smaller) upper level is held in memory; the
+            // receiving level streams through the merge.
+            let (upper_items, upper_io) = guards[d].collect_items(&self.device, &self.codec)?;
+            io = Self::merge_io(io, upper_io);
+            let reorder_io = guards[d + 1].merge_reorder(
+                &self.device,
+                &self.codec,
+                &self.sorter,
+                &self.master_key,
+                &mut rng,
+                upper_items,
+            )?;
+            io = Self::merge_io(io, reorder_io);
+            reorders += 1;
+            guards[d].clear(&mut rng);
         }
 
         // The merge gets a copy and the buffer is cleared only on success:
         // if the merge fails before its first write (a corrupt level slot
         // surfacing mid-stream), the level rolls back and the buffered items
         // stay readable from the buffer instead of being silently lost.
-        let reorder_io = self.levels[0].merge_reorder(
+        let reorder_io = guards[0].merge_reorder(
             &self.device,
             &self.codec,
             &self.sorter,
             &self.master_key,
-            &mut self.rng,
-            self.buffer.clone(),
+            &mut rng,
+            front.entries.clone(),
         )?;
-        self.buffer.clear();
-        self.buffer_index.clear();
+        front.entries.clear();
+        front.index.clear();
         io = Self::merge_io(io, reorder_io);
-        self.stats.reorders += 1;
+        reorders += 1;
 
-        self.stats.sort_ios += io.total();
-        self.stats.sort_time_us += self.now_us() - start;
+        self.stats
+            .add_sort(io.total(), reorders, self.now_us() - start);
         Ok(())
-    }
-
-    /// Cascade: move level `li`'s items into level `li + 1` (re-ordering it,
-    /// with the upper copies winning on duplicate ids), then clear level
-    /// `li`. The last level is simply re-ordered in place — by construction
-    /// it can hold every distinct block users may read.
-    fn dump(&mut self, li: usize) -> Result<MaintenanceIo, ObliviousError> {
-        let mut io = MaintenanceIo::default();
-        if li + 1 >= self.levels.len() {
-            // Last level: re-order in place (deduplication already happened on
-            // the way down, so this is only reached when the hierarchy is
-            // genuinely at capacity).
-            let reorder_io = self.levels[li].merge_reorder(
-                &self.device,
-                &self.codec,
-                &self.sorter,
-                &self.master_key,
-                &mut self.rng,
-                Vec::new(),
-            )?;
-            self.stats.reorders += 1;
-            return Ok(Self::merge_io(io, reorder_io));
-        }
-
-        let upper_len = self.levels[li].len();
-        if !self.levels[li + 1].can_accept(upper_len) {
-            io = Self::merge_io(io, self.dump(li + 1)?);
-        }
-
-        // Only the (strictly smaller) upper level is held in memory; the
-        // receiving level streams through the merge.
-        let (upper_items, upper_io) = self.levels[li].collect_items(&self.device, &self.codec)?;
-        io = Self::merge_io(io, upper_io);
-        let reorder_io = self.levels[li + 1].merge_reorder(
-            &self.device,
-            &self.codec,
-            &self.sorter,
-            &self.master_key,
-            &mut self.rng,
-            upper_items,
-        )?;
-        io = Self::merge_io(io, reorder_io);
-        self.stats.reorders += 1;
-
-        self.levels[li].clear(&mut self.rng);
-        Ok(io)
     }
 
     fn merge_io(mut a: MaintenanceIo, b: MaintenanceIo) -> MaintenanceIo {
@@ -369,22 +469,26 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
     /// Audit the agent-memory bookkeeping: `membership` must equal the union
     /// of the buffered ids and every level manifest (items are cached
     /// forever, so nothing may leak in either direction across flushes and
-    /// cascade re-orders), and `buffer_index` must mirror the buffer exactly.
-    /// Exposed for tests and the bench harness.
+    /// cascade re-orders), and the buffer index must mirror the buffer
+    /// exactly. Exposed for tests and the bench harness; safe to call while
+    /// other threads are mid-operation (it snapshots under the membership
+    /// and front read locks, which freezes structural passes).
     pub fn membership_is_consistent(&self) -> bool {
-        let buffer_indexed = self.buffer_index.len() == self.buffer.len()
-            && self
-                .buffer
+        let membership = self.membership.read();
+        let front = self.front.read();
+        let buffer_indexed = front.index.len() == front.entries.len()
+            && front
+                .entries
                 .iter()
                 .enumerate()
-                .all(|(pos, (id, _))| self.buffer_index.get(id) == Some(&pos));
-        let mut union: DetHashSet<u64> = self.buffer.iter().map(|&(id, _)| id).collect();
+                .all(|(pos, (id, _))| front.index.get(id) == Some(&pos));
+        let mut union: DetHashSet<u64> = front.entries.iter().map(|&(id, _)| id).collect();
         for level in &self.levels {
-            union.extend(level.manifest.keys().copied());
+            union.extend(level.read().manifest.keys().copied());
         }
         buffer_indexed
-            && union.len() == self.membership.len()
-            && union.iter().all(|id| self.membership.contains(id))
+            && union.len() == membership.len()
+            && union.iter().all(|id| membership.contains(id))
     }
 }
 
@@ -422,18 +526,21 @@ mod tests {
 
     #[test]
     fn failed_flush_keeps_buffered_items_readable() {
-        let mut store = new_store(4, 32);
+        let store = new_store(4, 32);
         // One full flush moves ids 0..4 into level 1.
         for id in 0..4u64 {
             store.insert(id, payload(id)).unwrap();
         }
-        assert!(store.levels[0].len() > 0);
+        assert!(store.levels[0].read().len() > 0);
 
         // Corrupt one of level 1's occupied slots directly on the device.
-        let slot = *store.levels[0].manifest.values().next().unwrap();
+        let (slot, data_offset) = {
+            let level = store.levels[0].read();
+            (*level.manifest.values().next().unwrap(), level.data_offset)
+        };
         store
             .device
-            .write_block(store.levels[0].data_offset + slot, &[0x5Au8; BLOCK])
+            .write_block(data_offset + slot, &[0x5Au8; BLOCK])
             .unwrap();
 
         // Refill the buffer; the fourth insert triggers the flush, which
@@ -448,8 +555,10 @@ mod tests {
 
         // The failure surfaced before any level write: the level rolled
         // back, the buffer still holds every pending item, and the
-        // bookkeeping invariants survived.
+        // bookkeeping invariants survived. The write epoch is even again —
+        // the failed structural pass closed its guard on the way out.
         assert!(store.membership_is_consistent());
+        assert_eq!(store.write_epoch() % 2, 0);
         for id in 100..104u64 {
             assert_eq!(store.read(id).unwrap(), payload(id), "id {id}");
         }
@@ -457,7 +566,7 @@ mod tests {
 
     #[test]
     fn read_returns_what_was_inserted() {
-        let mut store = new_store(4, 32);
+        let store = new_store(4, 32);
         for id in 0..20u64 {
             store.insert(id, payload(id)).unwrap();
         }
@@ -470,7 +579,7 @@ mod tests {
 
     #[test]
     fn read_of_uncached_block_errors() {
-        let mut store = new_store(4, 32);
+        let store = new_store(4, 32);
         store.insert(1, payload(1)).unwrap();
         assert!(matches!(
             store.read(99),
@@ -480,7 +589,7 @@ mod tests {
 
     #[test]
     fn heavy_read_write_mix_stays_consistent() {
-        let mut store = new_store(4, 64);
+        let store = new_store(4, 64);
         let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
         let mut rng = HashDrbg::from_u64(42);
         for step in 0..400u64 {
@@ -502,7 +611,7 @@ mod tests {
 
     #[test]
     fn cascade_pushes_items_into_deeper_levels() {
-        let mut store = new_store(2, 32);
+        let store = new_store(2, 32);
         // Insert enough distinct items to overflow levels 1 and 2.
         for id in 0..16u64 {
             store.insert(id, payload(id)).unwrap();
@@ -525,7 +634,7 @@ mod tests {
         // Small buffer + overwrites so flushes cascade through every level
         // repeatedly; the membership/manifest/buffer-index invariant must
         // hold at every step, not just at the end.
-        let mut store = new_store(2, 32);
+        let store = new_store(2, 32);
         for step in 0..96u64 {
             let id = step % 24; // revisits ids so duplicates flow down
             store.write(id, payload(id ^ step)).unwrap();
@@ -548,7 +657,7 @@ mod tests {
 
     #[test]
     fn every_read_touches_every_level() {
-        let mut store = new_store(4, 32);
+        let store = new_store(4, 32);
         for id in 0..12u64 {
             store.insert(id, payload(id)).unwrap();
         }
@@ -556,7 +665,7 @@ mod tests {
         let before = store.stats();
         // Pick an id that is certainly not in the buffer right now.
         let target = (0..12u64)
-            .find(|id| !store.buffer_index.contains_key(id))
+            .find(|id| !store.front.read().index.contains_key(id))
             .unwrap();
         store.read(target).unwrap();
         let delta = store.stats().since(&before);
@@ -572,7 +681,7 @@ mod tests {
 
     #[test]
     fn buffer_hits_cost_no_io() {
-        let mut store = new_store(8, 32);
+        let store = new_store(8, 32);
         store.insert(5, payload(5)).unwrap();
         let before = store.stats();
         assert_eq!(store.read(5).unwrap(), payload(5));
@@ -584,7 +693,7 @@ mod tests {
 
     #[test]
     fn overwrite_returns_latest_value() {
-        let mut store = new_store(2, 32);
+        let store = new_store(2, 32);
         for id in 0..10u64 {
             store.insert(id, payload(id)).unwrap();
         }
@@ -600,7 +709,7 @@ mod tests {
 
     #[test]
     fn capacity_exhaustion_is_reported() {
-        let mut store = new_store(2, 8);
+        let store = new_store(2, 8);
         for id in 0..8u64 {
             store.insert(id, vec![1u8; 10]).unwrap();
         }
@@ -614,7 +723,7 @@ mod tests {
 
     #[test]
     fn oversized_item_rejected() {
-        let mut store = new_store(2, 8);
+        let store = new_store(2, 8);
         let too_big = vec![0u8; store.item_capacity() + 1];
         assert!(matches!(
             store.insert(1, too_big),
@@ -657,7 +766,7 @@ mod tests {
 
     #[test]
     fn measured_overhead_close_to_analytic_2k_per_probe_read() {
-        let mut store = new_store(4, 64);
+        let store = new_store(4, 64);
         for id in 0..40u64 {
             store.insert(id, payload(id)).unwrap();
         }
@@ -665,7 +774,7 @@ mod tests {
         let before = store.stats();
         let mut probed = 0u64;
         for id in 0..40u64 {
-            if !store.buffer_index.contains_key(&id) {
+            if !store.front.read().index.contains_key(&id) {
                 store.read(id).unwrap();
                 probed += 1;
             }
@@ -677,5 +786,74 @@ mod tests {
             per_read >= 2.0 * k && per_read <= 2.0 * k + 3.0,
             "per-read retrieve I/O {per_read}, k = {k}"
         );
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_store() {
+        let store = new_store(4, 64);
+        for id in 0..48u64 {
+            store.insert(id, payload(id)).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..60u64 {
+                        let id = (t * 13 + i * 7) % 48;
+                        assert_eq!(store.read(id).unwrap(), payload(id), "id {id}");
+                    }
+                });
+            }
+        });
+        assert!(store.membership_is_consistent());
+        assert_eq!(store.write_epoch() % 2, 0, "structural guard left open");
+        let stats = store.stats();
+        assert_eq!(stats.reads_served, 8 * 60);
+        assert_eq!(stats.inserts, 48);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_stay_value_consistent() {
+        // Disjoint id stripes per thread, so every id's final value is
+        // well-defined; readers hammer the shared store while writers
+        // overwrite their own stripe through cascading flushes.
+        let store = new_store(4, 128);
+        for id in 0..64u64 {
+            store.insert(id, payload(id)).unwrap();
+        }
+        let shared = &store;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for round in 0..12u64 {
+                        for i in 0..16u64 {
+                            let id = t * 16 + i;
+                            shared
+                                .write(id, vec![(t as u8) ^ (round as u8); 64])
+                                .unwrap();
+                        }
+                    }
+                });
+                s.spawn(move || {
+                    for i in 0..120u64 {
+                        let id = (t * 17 + i * 5) % 64;
+                        let value = shared.read(id).unwrap();
+                        assert!(!value.is_empty());
+                    }
+                });
+            }
+        });
+        assert!(store.membership_is_consistent());
+        assert_eq!(store.write_epoch() % 2, 0);
+        for t in 0..4u64 {
+            for i in 0..16u64 {
+                let id = t * 16 + i;
+                assert_eq!(
+                    store.read(id).unwrap(),
+                    vec![(t as u8) ^ 11u8; 64],
+                    "id {id} lost its last write"
+                );
+            }
+        }
     }
 }

@@ -5,15 +5,18 @@
 //! serialises all users behind one borrow. [`ShardedBlockMap`] splits the map
 //! into `N` shards keyed by `block_id % N`, each behind its own
 //! `parking_lot::RwLock`, so classifications and reclassifications on
-//! different shards proceed in parallel. Every shard caches its per-class
-//! counters, so [`ShardedBlockMap::data_blocks`] (and the utilisation the
-//! Figure 6 loop depends on) is a sum of `N` cached values, never a sweep of
-//! the class vector.
+//! different shards proceed in parallel. Per-class counters are map-global
+//! relaxed atomics maintained alongside the class changes, so
+//! [`ShardedBlockMap::data_blocks`] (and the utilisation the Figure 6 loop
+//! depends on) is a single lock-free load — it never takes a shard lock and
+//! never sweeps a class vector.
 //!
 //! The map is observationally equivalent to the scalar map — the
 //! `sharded_equivalence` proptest drives both through identical operation
 //! sequences and requires identical `class()` / `data_blocks()` /
 //! `utilisation()` results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -26,12 +29,10 @@ use crate::blockmap::{BlockClass, BlockMap, ClassMap};
 pub const DEFAULT_MAP_SHARDS: usize = 16;
 
 /// One shard: the classes of every block `b` with `b % num_shards == index`,
-/// stored at position `b / num_shards`, plus cached per-class counts.
+/// stored at position `b / num_shards`.
 #[derive(Debug)]
 struct Shard {
     classes: Vec<BlockClass>,
-    /// Counts indexed by [`class_index`].
-    counts: [u64; 4],
 }
 
 fn class_index(class: BlockClass) -> usize {
@@ -48,6 +49,13 @@ fn class_index(class: BlockClass) -> usize {
 #[derive(Debug)]
 pub struct ShardedBlockMap {
     shards: Vec<RwLock<Shard>>,
+    /// Map-global per-class counts indexed by [`class_index`]. Updated with
+    /// relaxed RMWs *while the owning shard's write lock is held* (so each
+    /// class change is paired with its counter transfer), read with relaxed
+    /// loads and **no** shard lock: `data_blocks()` / `utilisation()` on the
+    /// hot Figure 6 path cost four atomic loads regardless of shard count or
+    /// write traffic.
+    counts: [AtomicU64; 4],
     num_blocks: u64,
 }
 
@@ -60,22 +68,21 @@ impl ShardedBlockMap {
             .map(|s| {
                 // Shard s holds blocks s, s + N, s + 2N, …
                 let len = (num_blocks.saturating_sub(s as u64)).div_ceil(num_shards as u64);
-                let mut counts = [0u64; 4];
-                counts[class_index(fill)] = len;
                 Shard {
                     classes: vec![fill; len as usize],
-                    counts,
                 }
             })
             .collect();
+        let counts: [AtomicU64; 4] = Default::default();
+        counts[class_index(fill)].store(num_blocks, Ordering::Relaxed);
         if num_blocks > 0 {
-            let shard0 = &mut shards[0];
-            shard0.counts[class_index(fill)] -= 1;
-            shard0.counts[class_index(BlockClass::Reserved)] += 1;
-            shard0.classes[0] = BlockClass::Reserved;
+            counts[class_index(fill)].fetch_sub(1, Ordering::Relaxed);
+            counts[class_index(BlockClass::Reserved)].fetch_add(1, Ordering::Relaxed);
+            shards[0].classes[0] = BlockClass::Reserved;
         }
         Self {
             shards: shards.into_iter().map(RwLock::new).collect(),
+            counts,
             num_blocks,
         }
     }
@@ -98,8 +105,7 @@ impl ShardedBlockMap {
             let mut shard = sharded.shards[(b % num_shards as u64) as usize].write();
             let idx = (b / num_shards as u64) as usize;
             let old = shard.classes[idx];
-            shard.counts[class_index(old)] -= 1;
-            shard.counts[class_index(class)] += 1;
+            sharded.transfer_count(old, class);
             shard.classes[idx] = class;
         }
         sharded
@@ -137,6 +143,15 @@ impl ShardedBlockMap {
         shard.classes[(block / self.shards.len() as u64) as usize]
     }
 
+    /// Transfer one block's worth of count from `from` to `to`. Callers hold
+    /// the owning shard's write lock, which orders the transfer with the
+    /// class change it mirrors; relaxed is enough because readers only ever
+    /// sum the counters, never use them to synchronise.
+    fn transfer_count(&self, from: BlockClass, to: BlockClass) {
+        self.counts[class_index(from)].fetch_sub(1, Ordering::Relaxed);
+        self.counts[class_index(to)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reclassify `block` through a shared reference.
     pub fn set(&self, block: BlockId, class: BlockClass) {
         assert!(block < self.num_blocks, "block {block} out of range");
@@ -146,8 +161,7 @@ impl ShardedBlockMap {
         if old == class {
             return;
         }
-        shard.counts[class_index(old)] -= 1;
-        shard.counts[class_index(class)] += 1;
+        self.transfer_count(old, class);
         shard.classes[idx] = class;
     }
 
@@ -163,21 +177,21 @@ impl ShardedBlockMap {
             return false;
         }
         if from != to {
-            shard.counts[class_index(from)] -= 1;
-            shard.counts[class_index(to)] += 1;
+            self.transfer_count(from, to);
             shard.classes[idx] = to;
         }
         true
     }
 
     fn count_of(&self, class: BlockClass) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.read().counts[class_index(class)])
-            .sum()
+        self.counts[class_index(class)].load(Ordering::Relaxed)
     }
 
-    /// Number of data blocks (sum of the cached per-shard counters).
+    /// Number of data blocks — one relaxed atomic load, no shard lock. Exact
+    /// at quiescence; while writers are mid-flight a reader may observe a
+    /// transfer's decrement before its increment (the counters momentarily
+    /// undercount by in-flight transfers), which is fine for the utilisation
+    /// throttle this feeds.
     pub fn data_blocks(&self) -> u64 {
         self.count_of(BlockClass::Data)
     }
@@ -224,25 +238,24 @@ impl ShardedBlockMap {
         out
     }
 
-    /// Whether every shard's cached counters agree with its class vector and
-    /// the per-class totals cover the whole volume — the conservation
-    /// invariant the stress suite checks after concurrent runs.
+    /// Whether the lock-free per-class counters agree with a full recount of
+    /// every shard's class vector and the totals cover the whole volume —
+    /// the conservation invariant the stress suite checks after concurrent
+    /// runs. (Call at quiescence: a recount races with in-flight writers.)
     pub fn counters_are_consistent(&self) -> bool {
         let mut totals = [0u64; 4];
         for shard in &self.shards {
             let shard = shard.read();
-            let mut recount = [0u64; 4];
             for &c in &shard.classes {
-                recount[class_index(c)] += 1;
-            }
-            if recount != shard.counts {
-                return false;
-            }
-            for (t, r) in totals.iter_mut().zip(recount) {
-                *t += r;
+                totals[class_index(c)] += 1;
             }
         }
-        totals.iter().sum::<u64>() == self.num_blocks
+        let cached: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        totals[..] == cached[..] && totals.iter().sum::<u64>() == self.num_blocks
     }
 }
 

@@ -18,8 +18,11 @@
 
 use std::sync::Mutex;
 
-use stegfs_repro::analysis::{kl_divergence_between, TrafficAnalysisAttacker};
+use stegfs_repro::analysis::{
+    chi_square_uniform, kl_divergence_between, repetition_rate, TrafficAnalysisAttacker,
+};
 use stegfs_repro::blockdev::{IoKind, TraceLog};
+use stegfs_repro::oblivious::{ObliviousConfig, ObliviousStore};
 use stegfs_repro::prelude::*;
 use stegfs_repro::stegfs::DEFAULT_MAP_SHARDS;
 use stegfs_repro::workload::{AccessPattern, ConcurrentDriver};
@@ -186,5 +189,136 @@ fn distinguishers_still_catch_the_ablation_under_concurrency() {
         verdict.distinguishable,
         "in-place concurrent updates must be distinguishable (chi {} vs critical {})",
         verdict.chi_square, verdict.critical_value
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent oblivious reads: the decomposed store's position stream at 8
+// threads must satisfy the same statistical bounds as the sequential stream.
+
+const OBLIVIOUS_ITEMS: u64 = 128;
+const OBLIVIOUS_USERS: usize = 8;
+const OBLIVIOUS_READS_PER_USER: u64 = 40;
+
+/// The shared oblivious bed: the decomposed store over a tracing device plus
+/// per-user pre-seeded Zipf DRBGs (locked so the tasks stay `Send`).
+struct ObliviousBed {
+    store: ObliviousStore<TracingDevice<MemDevice>, MemDevice>,
+    rngs: Vec<Mutex<HashDrbg>>,
+}
+
+/// Run `OBLIVIOUS_USERS` tasks of Zipf-skewed (or uniform) oblivious reads at
+/// `threads` workers and return the physical read positions observed on the
+/// oblivious partition plus the partition size.
+fn oblivious_read_positions(threads: usize, skewed: bool) -> (Vec<u64>, u64) {
+    let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(512);
+    let cfg = ObliviousConfig::new(16, OBLIVIOUS_ITEMS);
+    let num_blocks = ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, store_block);
+    let log = TraceLog::new();
+    let device = TracingDevice::with_log(MemDevice::new(num_blocks, store_block), log.clone());
+    let sort_device = MemDevice::new(
+        ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
+        ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(store_block),
+    );
+    let store = ObliviousStore::new(
+        device,
+        sort_device,
+        cfg,
+        Key256::from_passphrase("concurrent oblivious security"),
+        13,
+        None,
+    )
+    .expect("store");
+    for id in 0..OBLIVIOUS_ITEMS {
+        store.insert(id, vec![id as u8; 256]).expect("populate");
+    }
+    let bed = ObliviousBed {
+        store,
+        rngs: (0..OBLIVIOUS_USERS)
+            .map(|u| Mutex::new(HashDrbg::from_u64(101 + u as u64)))
+            .collect(),
+    };
+
+    // Measure the steady-state read phase only.
+    log.clear();
+    let tasks: Vec<_> = (0..OBLIVIOUS_USERS)
+        .map(|u| {
+            let mut pattern = if skewed {
+                AccessPattern::zipf(OBLIVIOUS_ITEMS, 1.2)
+            } else {
+                AccessPattern::uniform(OBLIVIOUS_ITEMS)
+            };
+            let mut remaining = OBLIVIOUS_READS_PER_USER;
+            move |s: &ObliviousBed| {
+                let item = pattern.next(&mut s.rngs[u].lock().unwrap());
+                let value = s.store.read(item).expect("oblivious read");
+                assert_eq!(value[..256], vec![item as u8; 256][..], "item {item}");
+                remaining -= 1;
+                remaining == 0
+            }
+        })
+        .collect();
+    ConcurrentDriver::run(&bed, tasks, threads, || 0);
+    assert!(bed.store.membership_is_consistent());
+    assert_eq!(bed.store.write_epoch() % 2, 0);
+
+    let positions: Vec<u64> = log
+        .records()
+        .iter()
+        .filter(|r| r.kind == IoKind::Read)
+        .map(|r| r.block)
+        .collect();
+    (positions, num_blocks)
+}
+
+#[test]
+fn concurrent_oblivious_reads_match_sequential_statistics() {
+    let (concurrent, universe) = oblivious_read_positions(8, true);
+    let (sequential, _) = oblivious_read_positions(1, true);
+    assert!(!concurrent.is_empty() && !sequential.is_empty());
+
+    // Same position distribution at 8 threads as at 1 (symmetric KL in bits
+    // near zero): interleaving reads leaks nothing the sequential stream
+    // does not already show.
+    let kl = kl_divergence_between(&concurrent, &sequential, universe, 64);
+    assert!(
+        kl < 0.5,
+        "concurrent vs sequential oblivious read streams diverge by {kl} bits"
+    );
+
+    // Repetition rate (re-read of the same physical position back to back,
+    // the signal a request-stream attacker correlates) stays at the
+    // sequential level.
+    let rep_concurrent = repetition_rate(&concurrent);
+    let rep_sequential = repetition_rate(&sequential);
+    assert!(
+        (rep_concurrent - rep_sequential).abs() < 0.05,
+        "repetition rate drifted: {rep_concurrent} concurrent vs {rep_sequential} sequential"
+    );
+
+    // Chi-square against uniform over the partition: the hierarchy gives the
+    // stream structure (every read touches every level), so the statistic is
+    // non-zero for *both* streams — the bound is that concurrency does not
+    // add concentration beyond the sequential reference.
+    let chi_concurrent = chi_square_uniform(&concurrent, universe, 64, 0.01).statistic;
+    let chi_sequential = chi_square_uniform(&sequential, universe, 64, 0.01).statistic;
+    assert!(
+        chi_concurrent < chi_sequential * 1.5 + 50.0,
+        "concurrent chi-square {chi_concurrent} well above sequential {chi_sequential}"
+    );
+}
+
+#[test]
+fn concurrent_oblivious_reads_hide_the_workload_skew() {
+    // Workload independence under concurrency — the oblivious property
+    // itself, Definition 1 read numerically: the position stream of a
+    // Zipf-skewed workload at 8 threads is the same distribution as that of
+    // a uniform workload at 8 threads.
+    let (skewed, universe) = oblivious_read_positions(8, true);
+    let (uniform, _) = oblivious_read_positions(8, false);
+    let kl = kl_divergence_between(&skewed, &uniform, universe, 64);
+    assert!(
+        kl < 0.5,
+        "skewed vs uniform workload position streams diverge by {kl} bits under concurrency"
     );
 }

@@ -1,9 +1,11 @@
 //! Stress/invariant suite for the concurrent serving layer: 8 threads of
-//! mixed read / update / create tasks (plus oblivious reads) hammer one
-//! shared system through [`ConcurrentDriver`], then every safety invariant is
-//! audited:
+//! mixed read / update / create tasks (plus oblivious reads straight at the
+//! shared, lock-decomposed [`ObliviousStore`]) hammer one shared system
+//! through [`ConcurrentDriver`], then every safety invariant is audited:
 //!
-//! * [`ObliviousStore::membership_is_consistent`] still holds;
+//! * [`ObliviousStore::membership_is_consistent`] holds *during* the run
+//!   (audited from the worker threads) and after it, and the write-epoch
+//!   guard is even (no structural pass left open);
 //! * block-class conservation on the sharded map — every block is in exactly
 //!   one class and the cached per-shard counters agree with the class
 //!   vectors (`data + dummy + unknown + reserved == num_blocks`);
@@ -11,8 +13,6 @@
 //!
 //! Thread count defaults to 8 and can be pinned with `STEGFS_BENCH_THREADS`
 //! (the CI `concurrent-stress` job does exactly that).
-
-use std::sync::Mutex;
 
 use stegfs_repro::oblivious::{ObliviousConfig, ObliviousStore};
 use stegfs_repro::prelude::*;
@@ -31,13 +31,14 @@ fn stress_threads() -> usize {
     stegfs_bench::harness::bench_threads().unwrap_or(8)
 }
 
-/// The shared system the tasks run against: the lock-decomposed agent plus a
-/// coarsely locked oblivious store (its internal sharding is a ROADMAP
-/// follow-up; the stress point here is that mixing it into the same task mix
-/// keeps its membership invariant intact).
+/// The shared system the tasks run against: the lock-decomposed agent plus
+/// the decomposed oblivious store, shared directly — oblivious reads from
+/// different threads interleave under the store's per-level read locks
+/// instead of serializing behind a coarse `Mutex`, and the membership audit
+/// runs *mid-flight* under all 8 threads.
 struct SharedSystem {
     agent: ConcurrentAgent<MemDevice>,
-    oblivious: Mutex<ObliviousStore<MemDevice, MemDevice>>,
+    oblivious: ObliviousStore<MemDevice, MemDevice>,
 }
 
 fn build_system() -> (SharedSystem, Vec<FileId>) {
@@ -66,7 +67,7 @@ fn build_system() -> (SharedSystem, Vec<FileId>) {
 
     let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(512);
     let cfg = ObliviousConfig::new(8, OBLIVIOUS_ITEMS);
-    let mut store = ObliviousStore::new(
+    let store = ObliviousStore::new(
         MemDevice::new(
             ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, store_block),
             store_block,
@@ -87,7 +88,7 @@ fn build_system() -> (SharedSystem, Vec<FileId>) {
     (
         SharedSystem {
             agent,
-            oblivious: Mutex::new(store),
+            oblivious: store,
         },
         ids,
     )
@@ -130,13 +131,17 @@ fn eight_thread_mixed_workload_preserves_all_invariants() {
                     }
                     _ => {
                         let item = (u as u64 * 7 + round) % OBLIVIOUS_ITEMS;
-                        let value = s
-                            .oblivious
-                            .lock()
-                            .unwrap()
-                            .read(item)
-                            .expect("oblivious read");
+                        let value = s.oblivious.read(item).expect("oblivious read");
                         assert_eq!(value[..128], vec![item as u8; 128][..], "item {item}");
+                        if round % 4 == 1 {
+                            // Mid-run audit under full concurrency: the
+                            // membership/manifest/buffer-index invariant must
+                            // hold while other threads read and flush.
+                            assert!(
+                                s.oblivious.membership_is_consistent(),
+                                "membership audit failed mid-run (user {u}, round {round})"
+                            );
+                        }
                         if round % 3 == 2 {
                             let secret = Key256::from_passphrase(&format!("extra-{u}-{created}"));
                             s.agent
@@ -162,16 +167,19 @@ fn eight_thread_mixed_workload_preserves_all_invariants() {
     assert_eq!(timings.len(), USERS);
 
     // ------------------------------------------------- invariant audits
-    // 1. Oblivious store membership is still consistent and items readable.
-    {
-        let mut store = system.oblivious.lock().unwrap();
-        assert!(store.membership_is_consistent());
-        for item in 0..OBLIVIOUS_ITEMS {
-            assert_eq!(
-                store.read(item).expect("post-run read")[..128],
-                vec![item as u8; 128][..]
-            );
-        }
+    // 1. Oblivious store membership is still consistent, no structural pass
+    //    was left open, and every item is readable.
+    assert!(system.oblivious.membership_is_consistent());
+    assert_eq!(
+        system.oblivious.write_epoch() % 2,
+        0,
+        "a flush/dump cascade left its epoch guard open"
+    );
+    for item in 0..OBLIVIOUS_ITEMS {
+        assert_eq!(
+            system.oblivious.read(item).expect("post-run read")[..128],
+            vec![item as u8; 128][..]
+        );
     }
 
     // 2. Block-class conservation on the sharded map.

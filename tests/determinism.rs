@@ -59,7 +59,7 @@ fn oblivious_read_trace(reads: u64) -> Vec<u64> {
         ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
         ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(store_block),
     );
-    let mut store = ObliviousStore::new(
+    let store = ObliviousStore::new(
         device,
         sort_device,
         cfg,
@@ -170,7 +170,7 @@ fn store_state_is_reproducible_after_heavy_cascades() {
     let run = || {
         let cfg = ObliviousConfig::new(4, 64);
         let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(512);
-        let mut store = ObliviousStore::new(
+        let store = ObliviousStore::new(
             MemDevice::new(
                 ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, store_block),
                 store_block,
@@ -200,4 +200,99 @@ fn store_state_is_reproducible_after_heavy_cascades() {
         (store.occupancy(), store.stats())
     };
     assert_eq!(run(), run());
+}
+
+/// Build an identically seeded decomposed store over a tracing device.
+fn traced_cascade_store() -> (
+    ObliviousStore<TracingDevice<MemDevice>, MemDevice>,
+    TraceLog,
+) {
+    let items = 64u64;
+    let cfg = ObliviousConfig::new(8, items);
+    let store_block = ObliviousStore::<MemDevice, MemDevice>::block_size_for_item(256);
+    let log = TraceLog::new();
+    let device = TracingDevice::with_log(
+        MemDevice::new(
+            ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, store_block),
+            store_block,
+        ),
+        log.clone(),
+    );
+    let sort_device = MemDevice::new(
+        ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg) + 8,
+        ObliviousStore::<MemDevice, MemDevice>::sort_block_size_for(store_block),
+    );
+    let store = ObliviousStore::new(
+        device,
+        sort_device,
+        cfg,
+        Key256::from_passphrase("determinism decomposed"),
+        43,
+        None,
+    )
+    .expect("store");
+    for id in 0..items {
+        store
+            .insert(id, vec![(id % 251) as u8; 120])
+            .expect("populate");
+    }
+    log.clear();
+    (store, log)
+}
+
+/// The item user `u` reads in round `r` — shared by both runs below.
+fn decomposed_item(u: u64, r: u64) -> u64 {
+    (u * 19 + r * 7) % 64
+}
+
+/// The decomposed store driven by `ConcurrentDriver` at one thread must be
+/// trace-identical to the same store called directly in the driver's visit
+/// order — the lock decomposition changes nothing about single-threaded
+/// behaviour: every DRBG draw, flush cascade and physical I/O lands at the
+/// same program point, so the traces match bit for bit.
+#[test]
+fn single_thread_decomposed_store_is_trace_identical_to_direct_calls() {
+    use stegfs_repro::workload::ConcurrentDriver;
+    const USERS: u64 = 3;
+    const ROUNDS: u64 = 40;
+
+    // Direct sequential calls in the one-thread driver's round-robin order.
+    let (direct, direct_log) = traced_cascade_store();
+    for r in 0..ROUNDS {
+        for u in 0..USERS {
+            direct.read(decomposed_item(u, r)).expect("direct read");
+        }
+    }
+    let direct_trace: Vec<(IoKind, u64)> = direct_log
+        .records()
+        .iter()
+        .map(|rec| (rec.kind, rec.block))
+        .collect();
+
+    // The same per-user access sequences as driver tasks at one thread.
+    let (driven, driven_log) = traced_cascade_store();
+    let tasks: Vec<_> = (0..USERS)
+        .map(|u| {
+            let mut round = 0u64;
+            move |s: &ObliviousStore<TracingDevice<MemDevice>, MemDevice>| {
+                s.read(decomposed_item(u, round)).expect("driven read");
+                round += 1;
+                round == ROUNDS
+            }
+        })
+        .collect();
+    ConcurrentDriver::run(&driven, tasks, 1, || 0);
+    let driven_trace: Vec<(IoKind, u64)> = driven_log
+        .records()
+        .iter()
+        .map(|rec| (rec.kind, rec.block))
+        .collect();
+
+    assert!(!direct_trace.is_empty());
+    assert_eq!(
+        direct_trace, driven_trace,
+        "one-thread decomposed store must replay the sequential trace exactly"
+    );
+    assert_eq!(direct.stats(), driven.stats());
+    assert_eq!(direct.occupancy(), driven.occupancy());
 }

@@ -82,7 +82,7 @@ proptest! {
     ) {
         let block = 256usize;
         let cfg = ObliviousConfig::new(buffer, 64);
-        let mut store = ObliviousStore::new(
+        let store = ObliviousStore::new(
             MemDevice::new(
                 ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, block),
                 block,
