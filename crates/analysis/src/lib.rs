@@ -34,6 +34,7 @@ pub use attackers::{
     TrafficAnalysisAttacker, TrafficVerdict, UpdateAnalysisAttacker, UpdateVerdict,
 };
 pub use statistics::{
-    chi_square_critical_value, chi_square_uniform, frequency_histogram, kl_divergence_between,
-    kl_divergence_from_uniform, repetition_rate, ChiSquareResult,
+    byte_value_chi_square, byte_value_kl, chi_square_critical_value, chi_square_uniform,
+    frequency_histogram, kl_divergence_between, kl_divergence_from_uniform, repetition_rate,
+    ChiSquareResult,
 };

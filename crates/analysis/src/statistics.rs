@@ -186,6 +186,65 @@ pub fn kl_divergence_between(a: &[u64], b: &[u64], universe: u64, bins: u64) -> 
         .sum()
 }
 
+/// Chi-square goodness-of-fit test of raw volume content against the uniform
+/// byte-value distribution.
+///
+/// This is the *content* counterpart of the positional tests above: a
+/// properly sealed volume (every block `IV ‖ CBC ciphertext`, abandoned
+/// blocks random-filled) has byte values indistinguishable from uniform, and
+/// any metadata a protection tier leaves in plaintext — parity tables,
+/// checksum logs, allocation maps — shows up as a rejected test. The
+/// resilience tier's parity-visibility check feeds whole volumes through
+/// this to confirm erasure coding leaves no such fingerprint.
+pub fn byte_value_chi_square(data: &[u8], alpha: f64) -> ChiSquareResult {
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let expected = data.len() as f64 / 256.0;
+    let statistic: f64 = if expected == 0.0 {
+        0.0
+    } else {
+        counts
+            .iter()
+            .map(|&c| {
+                let diff = c as f64 - expected;
+                diff * diff / expected
+            })
+            .sum()
+    };
+    let critical_value = chi_square_critical_value(255, alpha);
+    ChiSquareResult {
+        statistic,
+        degrees_of_freedom: 255,
+        critical_value,
+        rejects_uniformity: statistic > critical_value,
+    }
+}
+
+/// Kullback–Leibler divergence (in bits) of `data`'s byte-value distribution
+/// from uniform. Zero for perfectly uniform content; plaintext structure
+/// (ASCII, zeros, tables) pushes it up sharply.
+pub fn byte_value_kl(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    let q = 1.0 / 256.0;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * (p / q).log2()
+        })
+        .sum()
+}
+
 /// Fraction of observations that repeat a value already seen — a cheap but
 /// effective traffic-analysis signal: an unprotected workload re-reads the
 /// same physical blocks, while relocation and oblivious shuffling make
@@ -277,6 +336,33 @@ mod tests {
         let r = chi_square_uniform(&[], 100, 10, 0.01);
         assert!(!r.rejects_uniformity);
         assert_eq!(kl_divergence_from_uniform(&[], 100, 10), 0.0);
+    }
+
+    #[test]
+    fn byte_distribution_distinguishes_plaintext_from_sealed() {
+        // Pseudo-random bytes (a weak LCG is plenty for a statistical test).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let random: Vec<u8> = (0..65_536)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let r = byte_value_chi_square(&random, 0.01);
+        assert!(!r.rejects_uniformity, "statistic {}", r.statistic);
+        assert!(byte_value_kl(&random) < 0.01);
+
+        let ascii: Vec<u8> = b"parity table v1 "
+            .iter()
+            .copied()
+            .cycle()
+            .take(65_536)
+            .collect();
+        assert!(byte_value_chi_square(&ascii, 0.01).rejects_uniformity);
+        assert!(byte_value_kl(&ascii) > 3.0);
+
+        assert!(!byte_value_chi_square(&[], 0.01).rejects_uniformity);
+        assert_eq!(byte_value_kl(&[]), 0.0);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! `resilience_baseline`: performance trajectory of the resilience tier,
+//! written to `BENCH_resilience.json` — the fault-tolerance counterpart of
+//! `crypto_baseline` and `oblivious_baseline`.
+//!
+//! Four groups of metrics, each at the three supported stripe shapes
+//! (k, m) ∈ {(4, 1), (4, 2), (8, 2)} where the shape matters:
+//!
+//! 1. **Codec throughput.** Raw GF(2⁸) Cauchy-matrix encode (k data shards →
+//!    m parity shards) and decode (reconstruction of m erased shards from the
+//!    survivors), in MB/s of data covered.
+//! 2. **Read-path overhead.** `ResilientStore::read_file` vs the plain
+//!    substrate's `StegFs::read_file` on the same payload — the cost of the
+//!    per-block inline integrity check. The issue's budget is < 25% overhead
+//!    at (8, 2); the full-mode run asserts it.
+//! 3. **Scrub throughput, clean vs degraded.** A full scrub sweep of a
+//!    multi-file volume in MB/s, both when every HMAC verifies and when a
+//!    seeded fault plan has corrupted one block per stripe first (the
+//!    degraded pass pays reconstruction and re-placement).
+//! 4. **Recovery latency.** Mean wall-clock latency of a `read_file` that
+//!    must repair one freshly corrupted block mid-read, against the clean
+//!    read latency of the same file.
+//!
+//! Run with `--quick` (or `STEGFS_BENCH_QUICK=1`) for a CI-sized run; the
+//! JSON schema is identical, with `"quick": true` recorded so trajectory
+//! tooling can separate the two.
+
+use std::time::Instant;
+
+use stegfs_base::{FileAccessKey, StegFs, StegFsConfig};
+use stegfs_bench::harness::{pick, quick_mode, timed, BLOCK_SIZE};
+use stegfs_bench::report::{print_metrics_table, render_bench_json, BenchMetric as Metric};
+use stegfs_blockdev::{FaultDevice, FaultPlan, MemDevice};
+use stegfs_crypto::Key256;
+use stegfs_resilience::{ErasureCodec, ResilienceConfig, ResilientStore};
+
+const SHAPES: [(usize, usize); 3] = [(4, 1), (4, 2), (8, 2)];
+const MB: f64 = (1 << 20) as f64;
+
+fn master() -> Key256 {
+    Key256::from_passphrase("resilience baseline")
+}
+
+/// Deterministic shard/payload bytes.
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+fn store_cfg(k: usize, m: usize) -> ResilienceConfig {
+    ResilienceConfig::default()
+        .with_fs(StegFsConfig::default().with_block_size(BLOCK_SIZE))
+        .with_stripe(k, m)
+}
+
+/// A resilient volume sized for `file_blocks` content blocks plus parity,
+/// shadow maps and headers, holding one file of that size.
+fn resilient_store(
+    k: usize,
+    m: usize,
+    file_blocks: u64,
+    seed: u64,
+) -> (ResilientStore<FaultDevice<MemDevice>>, Vec<u8>) {
+    let num_blocks = file_blocks * 3 + 64;
+    let dev = FaultDevice::new(MemDevice::new(num_blocks, BLOCK_SIZE));
+    let store = ResilientStore::format(dev, store_cfg(k, m), &master(), seed).expect("format");
+    let per = store.fs().content_bytes_per_block();
+    let payload = pattern(file_blocks as usize * per, seed);
+    store.create_file("/bench", &payload).expect("create");
+    (store, payload)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut metrics: Vec<Metric> = Vec::new();
+
+    // --- 1. Codec encode/decode throughput. ---
+    let shard_len = BLOCK_SIZE;
+    let codec_iters = pick(3_000u64, 150);
+    for (k, m) in SHAPES {
+        let codec = ErasureCodec::new(k, m);
+        let data: Vec<Vec<u8>> = (0..k).map(|i| pattern(shard_len, 100 + i as u64)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let stripe_mb = (k * shard_len) as f64 / MB;
+
+        let encode_secs = timed(codec_iters, || {
+            std::hint::black_box(codec.encode(&refs));
+        });
+        metrics.push(Metric::new(
+            format!("encode_mb_s_{k}_{m}"),
+            "MB/s",
+            stripe_mb * codec_iters as f64 / encode_secs,
+            format!("GF(2^8) Cauchy encode, {k}+{m}, {shard_len} B shards"),
+        ));
+
+        // Decode: the worst case — the first m shards (all data) erased.
+        let parity = codec.encode(&refs);
+        let decode_secs = timed(codec_iters, || {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .map(|d| Some(d.clone()))
+                .chain(parity.iter().map(|p| Some(p.clone())))
+                .collect();
+            for slot in shards.iter_mut().take(m) {
+                *slot = None;
+            }
+            codec.reconstruct(&mut shards, shard_len).expect("decode");
+            std::hint::black_box(&shards);
+        });
+        metrics.push(Metric::new(
+            format!("decode_mb_s_{k}_{m}"),
+            "MB/s",
+            stripe_mb * codec_iters as f64 / decode_secs,
+            format!("reconstruct {m} erased data shards of {k}+{m}"),
+        ));
+    }
+
+    // --- 2. Read-path overhead vs the plain substrate. ---
+    let file_blocks = pick(192u64, 24);
+    let read_iters = pick(60u64, 9);
+
+    // Plain baseline: the same payload on the raw substrate.
+    let plain_fs_cfg = StegFsConfig::default().with_block_size(BLOCK_SIZE);
+    let (plain_fs, mut plain_map) = StegFs::format(
+        MemDevice::new(file_blocks * 3 + 64, BLOCK_SIZE),
+        plain_fs_cfg,
+        41,
+    )
+    .expect("format plain");
+    let per = plain_fs.content_bytes_per_block();
+    let payload = pattern(file_blocks as usize * per, 41);
+    let fak = FileAccessKey::from_master(&master());
+    let plain_open = plain_fs
+        .create_file(&mut plain_map, "/bench", &fak, &payload)
+        .expect("create plain");
+    let plain_secs = timed(read_iters, || {
+        std::hint::black_box(plain_fs.read_file(&plain_open).expect("plain read"));
+    });
+    let file_mb = payload.len() as f64 / MB;
+    metrics.push(Metric::new(
+        "read_plain_mb_s",
+        "MB/s",
+        file_mb * read_iters as f64 / plain_secs,
+        format!("StegFs::read_file, {file_blocks} blocks, no striping"),
+    ));
+
+    let mut overhead_8_2 = 0.0f64;
+    for (k, m) in SHAPES {
+        let (store, _) = resilient_store(k, m, file_blocks, 42);
+        let secs = timed(read_iters, || {
+            std::hint::black_box(store.read_file("/bench").expect("resilient read"));
+        });
+        metrics.push(Metric::new(
+            format!("read_resilient_mb_s_{k}_{m}"),
+            "MB/s",
+            file_mb * read_iters as f64 / secs,
+            format!("ResilientStore::read_file, verified inline, ({k}, {m})"),
+        ));
+        let ratio = (secs / read_iters as f64) / (plain_secs / read_iters as f64);
+        if (k, m) == (8, 2) {
+            overhead_8_2 = ratio;
+        }
+        metrics.push(Metric::new(
+            format!("read_overhead_{k}_{m}"),
+            "x",
+            ratio,
+            format!("resilient / plain read time at ({k}, {m}); budget < 1.25"),
+        ));
+    }
+
+    // --- 3. Scrub throughput, clean vs degraded. ---
+    let (k, m) = (4usize, 2usize);
+    let (scrub_store, _) = resilient_store(k, m, file_blocks, 43);
+    let scrub_iters = pick(12u64, 3);
+    let clean_report = scrub_store.scrub().expect("scrub");
+    assert!(clean_report.is_clean(), "fresh volume must scrub clean");
+    let scrub_mb = clean_report.blocks_checked as f64 * BLOCK_SIZE as f64 / MB;
+    let clean_secs = timed(scrub_iters, || {
+        scrub_store.scrub().expect("clean scrub");
+    });
+    metrics.push(Metric::new(
+        "scrub_clean_mb_s",
+        "MB/s",
+        scrub_mb * scrub_iters as f64 / clean_secs,
+        format!(
+            "{} blocks HMAC-verified per sweep, ({k}, {m})",
+            clean_report.blocks_checked
+        ),
+    ));
+
+    // Degraded: one corrupted block per stripe before every sweep.
+    let layout = scrub_store.stripe_layout("/bench").expect("layout");
+    let degraded_passes = pick(6u64, 2);
+    let mut degraded_total = 0.0f64;
+    let mut repaired_per_pass = 0u64;
+    for pass in 0..degraded_passes {
+        let mut plan = FaultPlan::new(4000 + pass);
+        for stripe in &layout {
+            plan.flip_bit(stripe[(pass as usize) % stripe.len()]);
+        }
+        scrub_store.fs().device().apply_plan(&plan).expect("inject");
+        let t0 = Instant::now();
+        let report = scrub_store.scrub().expect("degraded scrub");
+        degraded_total += t0.elapsed().as_secs_f64();
+        assert!(report.fully_repaired(), "degraded scrub must repair");
+        repaired_per_pass = report.blocks_repaired;
+    }
+    metrics.push(Metric::new(
+        "scrub_degraded_mb_s",
+        "MB/s",
+        scrub_mb * degraded_passes as f64 / degraded_total,
+        format!("{repaired_per_pass} blocks reconstructed + re-placed per sweep"),
+    ));
+
+    // --- 4. Recovery latency: a read that repairs one block mid-flight. ---
+    let (lat_store, lat_payload) = resilient_store(k, m, pick(64u64, 16), 44);
+    let lat_layout = lat_store.stripe_layout("/bench").expect("layout");
+    let lat_iters = pick(40u64, 8);
+    let clean_read_secs = timed(lat_iters, || {
+        std::hint::black_box(lat_store.read_file("/bench").expect("clean read"));
+    });
+    metrics.push(Metric::new(
+        "clean_read_latency_ms",
+        "ms",
+        clean_read_secs / lat_iters as f64 * 1e3,
+        format!(
+            "read_file of {} blocks, nothing to repair",
+            lat_layout.len() * k
+        ),
+    ));
+    let mut recovery_total = 0.0f64;
+    for i in 0..lat_iters {
+        // Corrupt one data block; the layout moves as repairs re-place
+        // blocks, so it is re-read every iteration.
+        let layout = lat_store.stripe_layout("/bench").expect("layout");
+        let stripe = &layout[i as usize % layout.len()];
+        let mut plan = FaultPlan::new(5000 + i);
+        plan.flip_bit(stripe[i as usize % k]);
+        lat_store.fs().device().apply_plan(&plan).expect("inject");
+        let t0 = Instant::now();
+        let read = lat_store.read_file("/bench").expect("recovering read");
+        recovery_total += t0.elapsed().as_secs_f64();
+        assert_eq!(read, lat_payload, "recovered read must be byte-identical");
+    }
+    metrics.push(Metric::new(
+        "recovery_read_latency_ms",
+        "ms",
+        recovery_total / lat_iters as f64 * 1e3,
+        "read_file repairing one corrupt block in place".to_string(),
+    ));
+
+    // --- Report. ---
+    print_metrics_table(
+        &format!(
+            "resilience_baseline (wall clock{}): erasure-coded tier trajectory",
+            if quick { ", quick mode" } else { "" }
+        ),
+        &metrics,
+    );
+    println!(
+        "\nRead-path overhead at (8, 2): {:.1}% (budget < 25%)",
+        (overhead_8_2 - 1.0) * 100.0
+    );
+    if !quick {
+        assert!(
+            overhead_8_2 < 1.25,
+            "read-path overhead budget exceeded: {overhead_8_2:.3}x"
+        );
+    }
+
+    let path = "BENCH_resilience.json";
+    std::fs::write(
+        path,
+        render_bench_json("stegfs-resilience-baseline/v1", quick, &metrics),
+    )
+    .expect("write BENCH_resilience.json");
+    println!("wrote {path} ({} metrics)", metrics.len());
+}

@@ -17,6 +17,9 @@
 //! * [`MemDevice`] — in-memory backing store, used by tests, examples and the
 //!   benchmark harness.
 //! * [`FileDevice`] — file-backed store for persistence demos.
+//! * [`FaultDevice`] — wrapper that injects deterministic seeded faults (bit
+//!   flips, zeroed blocks, torn ranged/scalar writes) with per-site
+//!   bookkeeping, the failure model the resilience tier is tested against.
 //! * [`TracingDevice`] — wrapper that records every I/O request (the
 //!   traffic-analysis attacker's view) and can take full snapshots (the
 //!   update-analysis attacker's view).
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod device;
+mod fault;
 mod file;
 mod latency;
 mod mem;
@@ -42,6 +46,7 @@ mod submission;
 mod trace;
 
 pub use device::{BlockDevice, BlockDeviceExt, BlockId, DeviceError, DeviceGeometry, ScalarDevice};
+pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultSite};
 pub use file::FileDevice;
 pub use latency::LatencyDevice;
 pub use mem::MemDevice;

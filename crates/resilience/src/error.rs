@@ -1,0 +1,123 @@
+//! Error type for the resilience tier.
+
+use stegfs_base::FsError;
+use stegfs_blockdev::DeviceError;
+
+/// Errors produced by the erasure codec, the replicated anchor and the
+/// resilient store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// Underlying file-system error.
+    Fs(FsError),
+    /// Underlying block-device error.
+    Device(DeviceError),
+    /// A stripe lost more shards than the code can tolerate. The store
+    /// reports this rather than ever returning reconstructed-but-wrong bytes.
+    TooManyErasures {
+        /// Shards that survived.
+        present: usize,
+        /// Shards needed for reconstruction (`k`).
+        needed: usize,
+    },
+    /// A file could not be read back correctly even after repair: some stripe
+    /// was beyond the code's tolerance.
+    Unrecoverable {
+        /// Path of the affected file.
+        path: String,
+        /// Stripes that could not be reconstructed.
+        stripes: Vec<u64>,
+    },
+    /// No valid replica of the volume anchor could be found.
+    AnchorUnrecoverable(String),
+    /// The anchor payload (file-access-key table) outgrew a single block.
+    AnchorOverflow {
+        /// Bytes the encoded anchor needs.
+        needed: usize,
+        /// Bytes one block can hold.
+        capacity: usize,
+    },
+    /// A structurally invalid persisted structure (stripe map, FAK table).
+    Corrupt(String),
+    /// The named file is not registered in the store.
+    UnknownFile(String),
+}
+
+impl core::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ResilienceError::Fs(e) => write!(f, "file system error: {e}"),
+            ResilienceError::Device(e) => write!(f, "device error: {e}"),
+            ResilienceError::TooManyErasures { present, needed } => write!(
+                f,
+                "too many erasures: {present} shards survive, {needed} needed"
+            ),
+            ResilienceError::Unrecoverable { path, stripes } => write!(
+                f,
+                "file {path} unrecoverable: {} stripe(s) beyond parity tolerance",
+                stripes.len()
+            ),
+            ResilienceError::AnchorUnrecoverable(msg) => {
+                write!(f, "no valid volume anchor replica: {msg}")
+            }
+            ResilienceError::AnchorOverflow { needed, capacity } => write!(
+                f,
+                "anchor of {needed} bytes exceeds block capacity of {capacity} bytes"
+            ),
+            ResilienceError::Corrupt(msg) => write!(f, "corrupt persisted structure: {msg}"),
+            ResilienceError::UnknownFile(path) => write!(f, "unknown file: {path}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<FsError> for ResilienceError {
+    fn from(e: FsError) -> Self {
+        ResilienceError::Fs(e)
+    }
+}
+
+impl From<DeviceError> for ResilienceError {
+    fn from(e: DeviceError) -> Self {
+        ResilienceError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ResilienceError::TooManyErasures {
+            present: 3,
+            needed: 4,
+        };
+        assert!(e.to_string().contains("3 shards survive"));
+        let e = ResilienceError::Unrecoverable {
+            path: "/f".to_string(),
+            stripes: vec![0, 2],
+        };
+        assert!(e.to_string().contains("/f"));
+        assert!(e.to_string().contains("2 stripe(s)"));
+        let e = ResilienceError::AnchorOverflow {
+            needed: 9000,
+            capacity: 4096,
+        };
+        assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn conversions() {
+        let fs = FsError::NoSuchFile;
+        assert_eq!(ResilienceError::from(fs.clone()), ResilienceError::Fs(fs));
+        let dev = DeviceError::OutOfRange {
+            block: 1,
+            num_blocks: 1,
+        };
+        assert_eq!(
+            ResilienceError::from(dev.clone()),
+            ResilienceError::Device(dev)
+        );
+    }
+}

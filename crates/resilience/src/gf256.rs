@@ -1,0 +1,219 @@
+//! Arithmetic in GF(2⁸), the symbol field of the erasure codec.
+//!
+//! The field is GF(2)[x] / (x⁸ + x⁴ + x³ + x² + 1) — the polynomial
+//! conventionally used by Reed–Solomon coders (0x11d), *not* the AES
+//! polynomial 0x11b; the two fields are isomorphic but their byte encodings
+//! differ, and 0x11d keeps the tables comparable with every published RS
+//! implementation. Like the AES T-tables in `stegfs_crypto`, the exp/log
+//! tables are fused at compile time, so there is no runtime table-building
+//! step and no lazy-init synchronisation.
+
+/// The reduction polynomial, x⁸ + x⁴ + x³ + x² + 1, with the x⁸ bit included.
+const POLY: u16 = 0x11d;
+
+/// `EXP[i] = g^i` for the generator `g = 2`, doubled to 510 entries so that
+/// `EXP[LOG[a] + LOG[b]]` never needs a `mod 255`.
+const EXP: [u8; 510] = build_exp();
+
+/// `LOG[a]` = discrete log of `a` base 2; `LOG[0]` is unused (set to 0).
+const LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 510] {
+    let mut table = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Multiply two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. Panics on zero, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Divide `a` by `b`. Panics when `b` is zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Raise `a` to the `n`-th power.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let log = LOG[a as usize] as u32;
+    EXP[((log * n) % 255) as usize]
+}
+
+/// A precomputed multiply-by-constant table: `table[x] = c · x`.
+///
+/// The codec's hot loops multiply whole 4 KB data fields by one coefficient;
+/// a 256-byte table turns that into a lookup per byte, the same trick every
+/// production RS library uses before reaching for SIMD.
+pub struct MulTable {
+    table: [u8; 256],
+}
+
+impl MulTable {
+    /// Build the table for constant `c`.
+    pub fn new(c: u8) -> Self {
+        let mut table = [0u8; 256];
+        if c != 0 {
+            let log_c = LOG[c as usize] as usize;
+            for (x, slot) in table.iter_mut().enumerate().skip(1) {
+                *slot = EXP[log_c + LOG[x] as usize];
+            }
+        }
+        Self { table }
+    }
+
+    /// `c · x` via the table.
+    #[inline]
+    pub fn mul(&self, x: u8) -> u8 {
+        self.table[x as usize]
+    }
+
+    /// `dst[i] ^= c · src[i]` — the accumulate step of both encoding and
+    /// reconstruction.
+    #[inline]
+    pub fn mul_xor_into(&self, dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= self.table[s as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        // Deterministic sample sweep; exhaustive associativity is 16M cases.
+        for a in (1..=255u8).step_by(7) {
+            for b in (1..=255u8).step_by(11) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (1..=255u8).step_by(31) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributes_over_xor() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(9) {
+                for c in (0..=255u8).step_by(13) {
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv({a})");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn powers_match_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 29, 142, 255] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "{a}^{n}");
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inverse_of_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn mul_table_matches_scalar_mul() {
+        for c in [0u8, 1, 2, 0x1d, 137, 255] {
+            let t = MulTable::new(c);
+            for x in 0..=255u8 {
+                assert_eq!(t.mul(x), mul(c, x));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_xor_into_accumulates() {
+        let t = MulTable::new(0x37);
+        let src = [1u8, 2, 3, 250];
+        let mut dst = [0xaau8; 4];
+        t.mul_xor_into(&mut dst, &src);
+        for i in 0..4 {
+            assert_eq!(dst[i], 0xaa ^ mul(0x37, src[i]));
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 must generate the whole multiplicative group for the log table to
+        // be well-defined.
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "generator order < 255");
+            seen[x as usize] = true;
+            x = mul(x, 2);
+        }
+        assert_eq!(x, 1, "2^255 must be 1");
+    }
+}

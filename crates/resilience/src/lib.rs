@@ -1,0 +1,55 @@
+//! # stegfs-resilience
+//!
+//! The resilience tier of the reproduction: a steganographic volume that
+//! survives silent corruption and torn writes without ever betraying which
+//! blocks it is protecting.
+//!
+//! The problem: the substrate's plausible-deniability design makes ordinary
+//! fault tolerance impossible to bolt on. The volume cannot carry an
+//! allocation bitmap, a checksum table or a parity log — any plaintext
+//! structure that says "these blocks matter" is exactly the evidence a
+//! steganographic file system exists to withhold. Meanwhile its *own* cover
+//! traffic constantly overwrites blocks, so a single misdirected write
+//! silently destroys hidden data with no fsck to notice.
+//!
+//! The pieces, each shaped to stay inside the steganographic envelope:
+//!
+//! * [`gf256`] — GF(2⁸) arithmetic with constant-time-built log/exp tables
+//!   and per-coefficient multiply tables.
+//! * [`ErasureCodec`] — a systematic Cauchy-matrix Reed–Solomon coder:
+//!   `m` parity shards per `k` data shards, any `k` survivors reconstruct.
+//!   Parity is computed over *plaintext* data fields (reseals re-randomise
+//!   ciphertext, so ciphertext parity would go stale on every dummy update)
+//!   and the parity shards are sealed and scattered like hidden data.
+//! * [`StripeMap`] / [`ChecksumKeys`] — per-file integrity metadata: a cheap
+//!   keyed hash verified on every read plus a truncated HMAC verified by
+//!   scrub, persisted as a shadow hidden file.
+//! * [`VolumeAnchor`] — the 3-way replicated, generation-counted,
+//!   slot-MAC'd superblock + sealed FAK table; quorum reads self-heal stale
+//!   or corrupt replicas.
+//! * [`ResilientStore`] — ties it together: striped files, a verify-always
+//!   read path that falls back to reconstruction, a delta-parity update
+//!   path, and [`ResilientStore::scrub`] — a ranged-batch MAC sweep that
+//!   repairs every degraded stripe onto freshly claimed blocks.
+//!
+//! The failure model it is tested against lives in `stegfs-blockdev`'s
+//! `FaultDevice`: deterministic seeded bit flips, zeroed blocks and torn
+//! ranged/scalar writes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+pub mod gf256;
+mod stats;
+mod store;
+mod stripe;
+mod superblock;
+
+pub use codec::ErasureCodec;
+pub use error::ResilienceError;
+pub use stats::{ResilienceStats, ScrubReport, SharedResilienceStats};
+pub use store::{ResilienceConfig, ResilientStore};
+pub use stripe::{BlockCheck, ChecksumKeys, ParityEntry, StripeConfig, StripeMap};
+pub use superblock::VolumeAnchor;

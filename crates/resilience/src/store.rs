@@ -1,0 +1,1134 @@
+//! The resilient store: erasure-coded hidden files over a steganographic
+//! volume, with a replicated self-healing anchor and a scrub/repair sweep.
+//!
+//! [`ResilientStore`] wraps the plain [`StegFs`] substrate and keeps, for
+//! every hidden file it manages:
+//!
+//! * `m` sealed parity blocks per stripe of `k` content blocks, placed
+//!   through the same uniform [`stegfs_base::ClassMap::claim`] allocation as
+//!   hidden data — on disk a parity block is indistinguishable from free
+//!   space;
+//! * a per-file [`StripeMap`] of plaintext integrity checks and parity
+//!   locations, persisted as a *shadow hidden file* (sealed and scattered
+//!   like any other hidden file, never plaintext on disk);
+//! * an entry in the sealed file-access-key table carried by the 3-way
+//!   replicated [`VolumeAnchor`], so [`ResilientStore::open`] can rediscover
+//!   every file from the master key alone.
+//!
+//! Parity is computed over *plaintext* data fields: a dummy update (reseal)
+//! re-randomises every ciphertext byte while leaving the plaintext intact, so
+//! plaintext parity survives arbitrarily many reseals where ciphertext parity
+//! would go stale on the first one.
+//!
+//! The read path verifies the cheap keyed hash of every block inline and
+//! falls back to stripe reconstruction on a mismatch; it never returns wrong
+//! bytes. The scrub path verifies the authoritative truncated HMACs in ranged
+//! batches and repairs every degraded stripe onto freshly claimed blocks.
+//!
+//! Scope: stripes protect content and parity blocks. File headers and
+//! indirect pointer blocks rely on the replicated anchor (which can re-locate
+//! headers via the FAK table) rather than parity; extending striping to the
+//! metadata tree is future work.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use stegfs_base::{
+    BlockClass, FileAccessKey, OpenFile, ShardedBlockMap, StegFs, StegFsConfig, DEFAULT_MAP_SHARDS,
+};
+use stegfs_blockdev::{BlockDevice, BlockId};
+use stegfs_crypto::{Aes256, CbcCipher, Key256};
+
+use crate::codec::ErasureCodec;
+use crate::error::ResilienceError;
+use crate::stats::{ResilienceStats, ScrubReport, SharedResilienceStats};
+use crate::stripe::{ChecksumKeys, ParityEntry, StripeConfig, StripeMap};
+use crate::superblock::VolumeAnchor;
+
+/// Configuration of a resilient volume.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Striping shape: `k` data blocks + `m` parity blocks per stripe.
+    pub stripe: StripeConfig,
+    /// Underlying file-system configuration.
+    pub fs: StegFsConfig,
+    /// Maximum blocks per ranged read in a scrub sweep.
+    pub scrub_batch: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            stripe: StripeConfig::new(4, 2),
+            fs: StegFsConfig::default(),
+            scrub_batch: 64,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Override the striping shape.
+    pub fn with_stripe(mut self, k: usize, m: usize) -> Self {
+        self.stripe = StripeConfig::new(k, m);
+        self
+    }
+
+    /// Override the file-system configuration.
+    pub fn with_fs(mut self, fs: StegFsConfig) -> Self {
+        self.fs = fs;
+        self
+    }
+}
+
+/// One managed file: its open handle, the shadow file holding the stripe map,
+/// and the in-memory stripe map itself.
+struct FileState {
+    open: OpenFile,
+    shadow: OpenFile,
+    stripes: StripeMap,
+}
+
+/// Outcome of repairing one stripe.
+struct StripeRepair {
+    /// Physical locations where corruption was detected.
+    detected: Vec<BlockId>,
+    /// Blocks reconstructed and rewritten.
+    repaired: u64,
+    /// Whether the stripe was beyond parity tolerance.
+    unrecoverable: bool,
+}
+
+/// Which shard of which stripe a physical location belongs to (scrub sweep
+/// bookkeeping).
+#[derive(Clone, Copy)]
+enum ShardRef {
+    /// Data block at this file-wide index.
+    Data(u64),
+    /// Parity row of a stripe.
+    Parity(u64, usize),
+}
+
+/// A store of erasure-coded hidden files over a block device.
+pub struct ResilientStore<D> {
+    fs: StegFs<D>,
+    map: ShardedBlockMap,
+    codec: ErasureCodec,
+    stripe_cfg: StripeConfig,
+    scrub_batch: usize,
+    master: Key256,
+    anchor_key: Key256,
+    payload_key: Key256,
+    /// Anchor generation counter; bumped on every FAK-table change.
+    generation: Mutex<u64>,
+    /// Managed files by path. `BTreeMap` so that every sweep and every
+    /// persisted table is in deterministic path order.
+    files: RwLock<BTreeMap<String, Arc<RwLock<FileState>>>>,
+    stats: Arc<SharedResilienceStats>,
+}
+
+impl<D: BlockDevice> ResilientStore<D> {
+    /// Format `device` as a fresh resilient volume owned by `master`.
+    pub fn format(
+        device: D,
+        cfg: ResilienceConfig,
+        master: &Key256,
+        seed: u64,
+    ) -> Result<Self, ResilienceError> {
+        let (fs, scalar) = StegFs::format(device, cfg.fs, seed)?;
+        let map = ShardedBlockMap::from_scalar(&scalar, DEFAULT_MAP_SHARDS);
+        for b in VolumeAnchor::replica_blocks(fs.superblock().num_blocks) {
+            map.set(b, BlockClass::Reserved);
+        }
+        let store = Self::assemble(fs, map, cfg, master, 0);
+        store.persist_anchor()?;
+        Ok(store)
+    }
+
+    /// Open an existing resilient volume: quorum-read the anchor (repairing
+    /// stale or corrupt replicas in place), mount the file system, and reopen
+    /// every file listed in the sealed FAK table together with its shadow
+    /// stripe map.
+    pub fn open(
+        device: D,
+        cfg: ResilienceConfig,
+        master: &Key256,
+        seed: u64,
+    ) -> Result<Self, ResilienceError> {
+        let anchor_key = master.derive("resilience:anchor");
+        let (anchor, repaired) = VolumeAnchor::read_quorum(&device, &anchor_key)?;
+        let fs = StegFs::mount_with(device, cfg.fs.header_probe_limit, seed)?;
+        let map = ShardedBlockMap::new_all_dummy(fs.superblock().num_blocks, DEFAULT_MAP_SHARDS);
+        for b in VolumeAnchor::replica_blocks(fs.superblock().num_blocks) {
+            map.set(b, BlockClass::Reserved);
+        }
+        let store = Self::assemble(fs, map, cfg, master, anchor.generation);
+        store.stats.add_anchor_repairs(repaired.len() as u64);
+
+        for (path, fak) in store.decode_table(&anchor.payload)? {
+            let open = store.fs.open_file(&fak, &path)?;
+            let shadow_fak = store.shadow_fak(&path);
+            let shadow = store.fs.open_file(&shadow_fak, &Self::shadow_path(&path))?;
+            let encoded = store.fs.read_file(&shadow)?;
+            let stripes = StripeMap::decode(&encoded)?;
+            if stripes.num_data() != open.header.num_blocks() {
+                return Err(ResilienceError::Corrupt(format!(
+                    "stripe map covers {} blocks but {path} has {}",
+                    stripes.num_data(),
+                    open.header.num_blocks()
+                )));
+            }
+            let mut mref = &store.map;
+            store.fs.register_file(&mut mref, &open);
+            store.fs.register_file(&mut mref, &shadow);
+            for loc in stripes.parity_locations() {
+                store.map.set(loc, BlockClass::Data);
+            }
+            store.files.write().insert(
+                path,
+                Arc::new(RwLock::new(FileState {
+                    open,
+                    shadow,
+                    stripes,
+                })),
+            );
+        }
+        Ok(store)
+    }
+
+    fn assemble(
+        fs: StegFs<D>,
+        map: ShardedBlockMap,
+        cfg: ResilienceConfig,
+        master: &Key256,
+        generation: u64,
+    ) -> Self {
+        Self {
+            codec: ErasureCodec::new(cfg.stripe.k, cfg.stripe.m),
+            stripe_cfg: cfg.stripe,
+            scrub_batch: cfg.scrub_batch.max(1),
+            master: *master,
+            anchor_key: master.derive("resilience:anchor"),
+            payload_key: master.derive("resilience:payload"),
+            generation: Mutex::new(generation),
+            files: RwLock::new(BTreeMap::new()),
+            stats: Arc::new(SharedResilienceStats::default()),
+            fs,
+            map,
+        }
+    }
+
+    /// The underlying file system.
+    pub fn fs(&self) -> &StegFs<D> {
+        &self.fs
+    }
+
+    /// The shared block classification map.
+    pub fn block_map(&self) -> &ShardedBlockMap {
+        &self.map
+    }
+
+    /// The striping shape.
+    pub fn stripe_config(&self) -> StripeConfig {
+        self.stripe_cfg
+    }
+
+    /// Shared resilience counters.
+    pub fn shared_stats(&self) -> Arc<SharedResilienceStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Snapshot of the resilience counters.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats.snapshot()
+    }
+
+    /// Paths of every managed file, in order.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// On-disk layout of `path`'s stripes: for each stripe, the physical
+    /// locations of its live data shards followed by its `m` parity shards.
+    ///
+    /// Exposed for fault-injection tests and offline scrub tooling; it
+    /// reveals nothing an owner of the file's access key could not already
+    /// derive.
+    pub fn stripe_layout(&self, path: &str) -> Result<Vec<Vec<BlockId>>, ResilienceError> {
+        let state = self.file_state(path)?;
+        let g = state.read();
+        let mut out = Vec::new();
+        for stripe in 0..g.stripes.num_stripes() {
+            let mut blocks: Vec<BlockId> = g
+                .stripes
+                .stripe_data_range(stripe)
+                .map(|i| g.open.header.blocks[i as usize])
+                .collect();
+            for row in 0..self.stripe_cfg.m {
+                blocks.push(g.stripes.parity_entry(stripe, row).location);
+            }
+            out.push(blocks);
+        }
+        Ok(out)
+    }
+
+    // ----- key derivations ---------------------------------------------
+
+    fn file_master(&self, path: &str) -> Key256 {
+        self.master.derive(&format!("resilience:file:{path}"))
+    }
+
+    fn file_fak(&self, path: &str) -> FileAccessKey {
+        FileAccessKey::from_master(&self.file_master(path))
+    }
+
+    fn shadow_fak(&self, path: &str) -> FileAccessKey {
+        FileAccessKey::from_master(&self.file_master(path).derive("shadow"))
+    }
+
+    fn shadow_path(path: &str) -> String {
+        // '\u{0}' cannot appear in caller-supplied paths, so shadow paths
+        // never collide with user files.
+        format!("{path}\u{0}stripe-map")
+    }
+
+    fn checksum_keys(&self, open: &OpenFile) -> Result<ChecksumKeys, ResilienceError> {
+        let ck = open
+            .fak
+            .content_key()
+            .ok_or(ResilienceError::Corrupt("file without content key".into()))?;
+        Ok(ChecksumKeys::derive(ck))
+    }
+
+    // ----- anchor / FAK table ------------------------------------------
+
+    /// Serialise the FAK table: `count` then `(path_len, path, fak)` entries
+    /// in path order.
+    fn encode_table(&self) -> Vec<u8> {
+        let files = self.files.read();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(files.len() as u32).to_le_bytes());
+        for (path, state) in files.iter() {
+            out.extend_from_slice(&(path.len() as u16).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.extend_from_slice(&state.read().open.fak.to_bytes());
+        }
+        out
+    }
+
+    fn decode_table(
+        &self,
+        payload: &[u8],
+    ) -> Result<Vec<(String, FileAccessKey)>, ResilienceError> {
+        let plain = self.open_payload(payload)?;
+        let corrupt = |what: &str| ResilienceError::Corrupt(format!("FAK table: {what}"));
+        if plain.len() < 4 {
+            return Err(corrupt("truncated count"));
+        }
+        let count = u32::from_le_bytes(plain[..4].try_into().unwrap()) as usize;
+        let mut off = 4;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            if off + 2 > plain.len() {
+                return Err(corrupt("truncated path length"));
+            }
+            let plen = u16::from_le_bytes(plain[off..off + 2].try_into().unwrap()) as usize;
+            off += 2;
+            if off + plen + FileAccessKey::ENCODED_LEN > plain.len() {
+                return Err(corrupt("truncated entry"));
+            }
+            let path = String::from_utf8(plain[off..off + plen].to_vec())
+                .map_err(|_| corrupt("non-UTF-8 path"))?;
+            off += plen;
+            let fak = FileAccessKey::from_bytes(&plain[off..off + FileAccessKey::ENCODED_LEN])
+                .ok_or_else(|| corrupt("malformed access key"))?;
+            off += FileAccessKey::ENCODED_LEN;
+            out.push((path, fak));
+        }
+        Ok(out)
+    }
+
+    /// Seal the table under the payload key: `IV ‖ plain_len ‖ CBC(padded)`.
+    /// Confidentiality only — integrity comes from the anchor's replica MACs,
+    /// which cover the whole payload.
+    fn seal_payload(&self, plain: &[u8]) -> Vec<u8> {
+        let mut padded = plain.to_vec();
+        padded.resize(plain.len().div_ceil(16) * 16, 0);
+        let mut iv = [0u8; 16];
+        self.fs.with_rng(|rng| rng.fill_bytes(&mut iv));
+        let cbc = CbcCipher::new(Aes256::new(self.payload_key.as_bytes()));
+        cbc.encrypt_in_place(&iv, &mut padded)
+            .expect("padded to block size");
+        let mut out = Vec::with_capacity(16 + 4 + padded.len());
+        out.extend_from_slice(&iv);
+        out.extend_from_slice(&(plain.len() as u32).to_le_bytes());
+        out.extend_from_slice(&padded);
+        out
+    }
+
+    fn open_payload(&self, sealed: &[u8]) -> Result<Vec<u8>, ResilienceError> {
+        if sealed.len() < 20 || (sealed.len() - 20) % 16 != 0 {
+            return Err(ResilienceError::Corrupt(
+                "anchor payload framing".to_string(),
+            ));
+        }
+        let iv: [u8; 16] = sealed[..16].try_into().unwrap();
+        let plain_len = u32::from_le_bytes(sealed[16..20].try_into().unwrap()) as usize;
+        let mut data = sealed[20..].to_vec();
+        if plain_len > data.len() {
+            return Err(ResilienceError::Corrupt(
+                "anchor payload length".to_string(),
+            ));
+        }
+        let cbc = CbcCipher::new(Aes256::new(self.payload_key.as_bytes()));
+        cbc.decrypt_in_place(&iv, &mut data)
+            .map_err(|e| ResilienceError::Corrupt(format!("anchor payload cipher: {e:?}")))?;
+        data.truncate(plain_len);
+        Ok(data)
+    }
+
+    /// Re-write every anchor replica with the current FAK table under a
+    /// bumped generation.
+    fn persist_anchor(&self) -> Result<(), ResilienceError> {
+        let payload = self.seal_payload(&self.encode_table());
+        let capacity = VolumeAnchor::payload_capacity(self.fs.codec().block_size());
+        if payload.len() > capacity {
+            return Err(ResilienceError::AnchorOverflow {
+                needed: payload.len(),
+                capacity,
+            });
+        }
+        let mut generation = self.generation.lock();
+        *generation += 1;
+        let anchor = VolumeAnchor {
+            superblock: *self.fs.superblock(),
+            generation: *generation,
+            payload,
+        };
+        anchor.write_replicas(self.fs.device(), &self.anchor_key)?;
+        Ok(())
+    }
+
+    // ----- file creation -----------------------------------------------
+
+    /// Create a hidden file at `path` with parity per the store's striping
+    /// shape, and persist it in the anchor's FAK table.
+    pub fn create_file(&self, path: &str, content: &[u8]) -> Result<(), ResilienceError> {
+        if self.files.read().contains_key(path) {
+            return Err(ResilienceError::Corrupt(format!(
+                "file {path} already exists"
+            )));
+        }
+        let fak = self.file_fak(path);
+        let mut mref = &self.map;
+        let open = self.fs.create_file(&mut mref, path, &fak, content)?;
+        let state = match self.stripe_file(open, content) {
+            Ok(state) => state,
+            Err(e) => {
+                // Unwind the half-created file so the volume stays clean.
+                let reopened = self.fs.open_file(&fak, path)?;
+                self.fs.delete_file(&mut mref, reopened)?;
+                return Err(e);
+            }
+        };
+        self.files
+            .write()
+            .insert(path.to_string(), Arc::new(RwLock::new(state)));
+        self.persist_anchor()
+    }
+
+    /// Compute checks and parity for a freshly created file and persist the
+    /// stripe map as a shadow hidden file.
+    fn stripe_file(&self, open: OpenFile, content: &[u8]) -> Result<FileState, ResilienceError> {
+        let keys = self.checksum_keys(&open)?;
+        let content_key = *open.fak.content_key().expect("checked above");
+        let per = self.fs.content_bytes_per_block();
+        let (k, m) = (self.stripe_cfg.k, self.stripe_cfg.m);
+        let num_data = open.header.num_blocks();
+        let mut stripes = StripeMap::new(self.stripe_cfg, num_data);
+        let mut mref = &self.map;
+
+        for stripe in 0..stripes.num_stripes() {
+            let range = stripes.stripe_data_range(stripe);
+            let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
+            for i in range {
+                // Reconstitute the full zero-padded data field from the
+                // content (what create_file sealed) instead of re-reading it.
+                let mut field = vec![0u8; per];
+                let start = (i as usize) * per;
+                if start < content.len() {
+                    let end = (start + per).min(content.len());
+                    field[..end - start].copy_from_slice(&content[start..end]);
+                }
+                stripes.set_data_check(i, keys.check(&field));
+                data.push(field);
+            }
+            // Short final stripe: missing data shards are known-zero.
+            data.resize(k, vec![0u8; per]);
+            let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            let parity = self.codec.encode(&refs);
+
+            let locs = self.fs.allocate_blocks(&mut mref, m as u64)?;
+            for (row, shard) in parity.iter().enumerate() {
+                self.fs.with_rng(|rng| {
+                    self.fs.codec().write_sealed(
+                        self.fs.device(),
+                        locs[row],
+                        &content_key,
+                        shard,
+                        rng,
+                    )
+                })?;
+                stripes.set_parity_entry(
+                    stripe,
+                    row,
+                    ParityEntry {
+                        location: locs[row],
+                        check: keys.check(shard),
+                    },
+                );
+            }
+        }
+
+        let shadow_fak = self.shadow_fak(&open.path);
+        let shadow = self.fs.create_file(
+            &mut mref,
+            &Self::shadow_path(&open.path),
+            &shadow_fak,
+            &stripes.encode(),
+        )?;
+        Ok(FileState {
+            open,
+            shadow,
+            stripes,
+        })
+    }
+
+    fn file_state(&self, path: &str) -> Result<Arc<RwLock<FileState>>, ResilienceError> {
+        self.files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| ResilienceError::UnknownFile(path.to_string()))
+    }
+
+    // ----- read path ---------------------------------------------------
+
+    /// Read a whole file, verifying the fast check of every block inline.
+    /// A check failure triggers stripe reconstruction; the call either
+    /// returns the file's true bytes or reports it unrecoverable — never
+    /// silently wrong data.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, ResilienceError> {
+        let state = self.file_state(path)?;
+        let guard = state.read();
+        let keys = self.checksum_keys(&guard.open)?;
+        let per = self.fs.content_bytes_per_block();
+        let file_size = guard.open.header.file_size as usize;
+        let num = guard.open.header.num_blocks();
+
+        let mut out = Vec::with_capacity(num as usize * per);
+        let mut bad: Vec<u64> = Vec::new();
+        for i in 0..num {
+            let field = self.fs.read_content_block(&guard.open, i)?;
+            if keys.fast(&field) == guard.stripes.data_check(i).fast {
+                self.stats.count_read_verified();
+                out.extend_from_slice(&field);
+            } else {
+                self.stats.count_read_check_failure();
+                bad.push(i);
+                out.resize(out.len() + per, 0);
+            }
+        }
+        if !bad.is_empty() {
+            drop(guard);
+            let mut g = state.write();
+            let stripes: BTreeSet<u64> =
+                bad.iter().map(|&i| self.stripe_cfg.stripe_of(i)).collect();
+            let mut lost = Vec::new();
+            for stripe in stripes {
+                let repair = self.repair_stripe(&mut g, stripe)?;
+                if repair.unrecoverable {
+                    lost.push(stripe);
+                }
+            }
+            if !lost.is_empty() {
+                return Err(ResilienceError::Unrecoverable {
+                    path: path.to_string(),
+                    stripes: lost,
+                });
+            }
+            for i in bad {
+                let field = self.fs.read_content_block(&g.open, i)?;
+                if keys.fast(&field) != g.stripes.data_check(i).fast {
+                    return Err(ResilienceError::Unrecoverable {
+                        path: path.to_string(),
+                        stripes: vec![self.stripe_cfg.stripe_of(i)],
+                    });
+                }
+                let start = i as usize * per;
+                out[start..start + per].copy_from_slice(&field);
+            }
+        }
+        out.truncate(file_size);
+        Ok(out)
+    }
+
+    // ----- update path -------------------------------------------------
+
+    /// Overwrite one content block, folding the plaintext delta into every
+    /// parity shard of the stripe (`p' = p ⊕ C[i][j]·(old ⊕ new)`) instead of
+    /// re-encoding the whole stripe.
+    pub fn write_block(&self, path: &str, index: u64, data: &[u8]) -> Result<(), ResilienceError> {
+        let per = self.fs.content_bytes_per_block();
+        if data.len() > per {
+            return Err(ResilienceError::Fs(stegfs_base::FsError::Cipher(format!(
+                "block write of {} bytes exceeds data field of {per}",
+                data.len()
+            ))));
+        }
+        let state = self.file_state(path)?;
+        let mut g = state.write();
+        let keys = self.checksum_keys(&g.open)?;
+        let content_key = *g.open.fak.content_key().expect("checked above");
+        let stripe = self.stripe_cfg.stripe_of(index);
+
+        let mut old = self.fs.read_content_block(&g.open, index)?;
+        if keys.fast(&old) != g.stripes.data_check(index).fast {
+            // Heal the stripe before computing a delta against stale bytes.
+            let repair = self.repair_stripe(&mut g, stripe)?;
+            if repair.unrecoverable {
+                return Err(ResilienceError::Unrecoverable {
+                    path: path.to_string(),
+                    stripes: vec![stripe],
+                });
+            }
+            old = self.fs.read_content_block(&g.open, index)?;
+        }
+        let mut new_field = vec![0u8; per];
+        new_field[..data.len()].copy_from_slice(data);
+        let delta: Vec<u8> = old.iter().zip(&new_field).map(|(a, b)| a ^ b).collect();
+
+        let slot = (index - stripe * self.stripe_cfg.k as u64) as usize;
+        let mut parities = Vec::with_capacity(self.stripe_cfg.m);
+        for row in 0..self.stripe_cfg.m {
+            let entry = *g.stripes.parity_entry(stripe, row);
+            parities.push(self.fs.codec().read_sealed(
+                self.fs.device(),
+                entry.location,
+                &content_key,
+            )?);
+        }
+        self.codec.apply_delta(slot, &delta, &mut parities);
+
+        self.fs
+            .write_content_block(&mut g.open, index, &new_field)?;
+        g.stripes.set_data_check(index, keys.check(&new_field));
+        for (row, shard) in parities.iter().enumerate() {
+            let mut entry = *g.stripes.parity_entry(stripe, row);
+            self.fs.with_rng(|rng| {
+                self.fs.codec().write_sealed(
+                    self.fs.device(),
+                    entry.location,
+                    &content_key,
+                    shard,
+                    rng,
+                )
+            })?;
+            entry.check = keys.check(shard);
+            g.stripes.set_parity_entry(stripe, row, entry);
+        }
+        self.rewrite_shadow(&mut g)
+    }
+
+    /// Dummy-update every block of a file (content, parity, header tree):
+    /// reseal each under a fresh IV. Ciphertexts all change; every plaintext
+    /// check and parity relation survives untouched — the property that makes
+    /// plaintext-domain parity compatible with cover traffic.
+    pub fn reseal_file(&self, path: &str) -> Result<(), ResilienceError> {
+        let state = self.file_state(path)?;
+        let g = state.read();
+        let content_key = *g.open.fak.content_key().expect("managed files have one");
+        for &b in &g.open.header.blocks {
+            self.fs.reseal_block(b, &content_key)?;
+        }
+        for loc in g.stripes.parity_locations() {
+            self.fs.reseal_block(loc, &content_key)?;
+        }
+        self.fs
+            .reseal_block(g.open.header_location, g.open.fak.header_key())?;
+        for &b in &g.open.indirect_locations {
+            self.fs.reseal_block(b, g.open.fak.header_key())?;
+        }
+        Ok(())
+    }
+
+    // ----- repair ------------------------------------------------------
+
+    /// Persist the in-memory stripe map into the shadow file, in place. The
+    /// encoded length is fixed for a given shape, so the shadow's geometry
+    /// never changes.
+    fn rewrite_shadow(&self, g: &mut FileState) -> Result<(), ResilienceError> {
+        let encoded = g.stripes.encode();
+        let per = self.fs.content_bytes_per_block();
+        for (i, chunk) in encoded.chunks(per).enumerate() {
+            self.fs
+                .write_content_block(&mut g.shadow, i as u64, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// MAC-verify every shard of `stripe` and reconstruct the missing ones,
+    /// rewriting repaired shards onto freshly claimed blocks (the corrupt
+    /// locations are randomised and released — a torn or corrupted sector is
+    /// never trusted again for this stripe).
+    fn repair_stripe(
+        &self,
+        g: &mut FileState,
+        stripe: u64,
+    ) -> Result<StripeRepair, ResilienceError> {
+        let keys = self.checksum_keys(&g.open)?;
+        let content_key = *g.open.fak.content_key().expect("checked above");
+        let per = self.fs.content_bytes_per_block();
+        let (k, m) = (self.stripe_cfg.k, self.stripe_cfg.m);
+        let range = g.stripes.stripe_data_range(stripe);
+        let live = range.clone().count();
+
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+        let mut corrupt: Vec<(usize, BlockId)> = Vec::new();
+        for (slot, i) in range.clone().enumerate() {
+            let loc = g.open.header.blocks[i as usize];
+            let field = self
+                .fs
+                .codec()
+                .read_sealed(self.fs.device(), loc, &content_key)?;
+            if keys.mac16(&field) == g.stripes.data_check(i).mac {
+                shards[slot] = Some(field);
+            } else {
+                corrupt.push((slot, loc));
+            }
+        }
+        for shard in shards.iter_mut().take(k).skip(live) {
+            *shard = Some(vec![0u8; per]);
+        }
+        for row in 0..m {
+            let entry = *g.stripes.parity_entry(stripe, row);
+            let field =
+                self.fs
+                    .codec()
+                    .read_sealed(self.fs.device(), entry.location, &content_key)?;
+            if keys.mac16(&field) == entry.check.mac {
+                shards[k + row] = Some(field);
+            } else {
+                corrupt.push((k + row, entry.location));
+            }
+        }
+        if corrupt.is_empty() {
+            return Ok(StripeRepair {
+                detected: Vec::new(),
+                repaired: 0,
+                unrecoverable: false,
+            });
+        }
+
+        self.stats.add_degraded_stripes(1);
+        let detected: Vec<BlockId> = corrupt.iter().map(|&(_, loc)| loc).collect();
+        if self.codec.reconstruct(&mut shards, per).is_err() {
+            self.stats.add_unrecoverable_stripes(1);
+            return Ok(StripeRepair {
+                detected,
+                repaired: 0,
+                unrecoverable: true,
+            });
+        }
+
+        let mut mref = &self.map;
+        for &(slot, old_loc) in &corrupt {
+            let new_loc = self.fs.allocate_blocks(&mut mref, 1)?[0];
+            let shard = shards[slot].as_ref().expect("reconstructed");
+            self.fs.with_rng(|rng| {
+                self.fs
+                    .codec()
+                    .write_sealed(self.fs.device(), new_loc, &content_key, shard, rng)
+            })?;
+            if slot < k {
+                let i = stripe * k as u64 + slot as u64;
+                g.open.header.blocks[i as usize] = new_loc;
+            } else {
+                let mut entry = *g.stripes.parity_entry(stripe, slot - k);
+                entry.location = new_loc;
+                g.stripes.set_parity_entry(stripe, slot - k, entry);
+            }
+            // Only release the corrupt location after the reconstructed
+            // shard is durably sealed at its new home (write ordering).
+            self.fs.randomize_block(old_loc)?;
+            self.map.set(old_loc, BlockClass::Dummy);
+        }
+        self.fs.save(&mut g.open)?;
+        self.rewrite_shadow(g)?;
+        self.stats.add_blocks_repaired(corrupt.len() as u64);
+        Ok(StripeRepair {
+            repaired: corrupt.len() as u64,
+            detected,
+            unrecoverable: false,
+        })
+    }
+
+    // ----- scrub -------------------------------------------------------
+
+    /// Sweep every managed file: quorum-heal the anchor, MAC-verify every
+    /// data and parity block in ranged batches of at most `scrub_batch`
+    /// blocks, and reconstruct every degraded stripe.
+    pub fn scrub(&self) -> Result<ScrubReport, ResilienceError> {
+        let mut report = ScrubReport::default();
+
+        let (_, healed) = VolumeAnchor::read_quorum(self.fs.device(), &self.anchor_key)?;
+        report.anchor_replicas_repaired = healed.len() as u64;
+        self.stats.add_anchor_repairs(healed.len() as u64);
+
+        let files: Vec<Arc<RwLock<FileState>>> = self.files.read().values().cloned().collect();
+        for state in files {
+            let mut g = state.write();
+            let keys = self.checksum_keys(&g.open)?;
+            let content_key = *g.open.fak.content_key().expect("checked above");
+
+            // Every protected location of this file, tagged with its shard
+            // identity, sorted by physical position so the sweep can coalesce
+            // contiguous runs into ranged reads.
+            let mut sites: Vec<(BlockId, ShardRef)> = Vec::new();
+            for (i, &loc) in g.open.header.blocks.iter().enumerate() {
+                sites.push((loc, ShardRef::Data(i as u64)));
+            }
+            for stripe in 0..g.stripes.num_stripes() {
+                for row in 0..self.stripe_cfg.m {
+                    sites.push((
+                        g.stripes.parity_entry(stripe, row).location,
+                        ShardRef::Parity(stripe, row),
+                    ));
+                }
+            }
+            sites.sort_by_key(|&(loc, _)| loc);
+
+            let block_size = self.fs.codec().block_size();
+            let mut degraded: BTreeSet<u64> = BTreeSet::new();
+            let mut start = 0;
+            while start < sites.len() {
+                // Extend the run while physically contiguous and under the
+                // batch cap.
+                let mut end = start + 1;
+                while end < sites.len()
+                    && end - start < self.scrub_batch
+                    && sites[end].0 == sites[end - 1].0 + 1
+                {
+                    end += 1;
+                }
+                let run = &sites[start..end];
+                let mut buf = vec![0u8; run.len() * block_size];
+                self.fs.device().read_blocks(run[0].0, &mut buf)?;
+                for (&(_, shard), physical) in run.iter().zip(buf.chunks_exact(block_size)) {
+                    let field = self.fs.codec().open(&content_key, physical)?;
+                    let (ok, stripe) = match shard {
+                        ShardRef::Data(i) => (
+                            keys.mac16(&field) == g.stripes.data_check(i).mac,
+                            self.stripe_cfg.stripe_of(i),
+                        ),
+                        ShardRef::Parity(stripe, row) => (
+                            keys.mac16(&field) == g.stripes.parity_entry(stripe, row).check.mac,
+                            stripe,
+                        ),
+                    };
+                    if !ok {
+                        degraded.insert(stripe);
+                    }
+                }
+                report.blocks_checked += run.len() as u64;
+                start = end;
+            }
+            self.stats.add_blocks_checked(sites.len() as u64);
+
+            for stripe in degraded {
+                let repair = self.repair_stripe(&mut g, stripe)?;
+                report.degraded_stripes += 1;
+                report.blocks_repaired += repair.repaired;
+                report.detected.extend(repair.detected);
+                if repair.unrecoverable {
+                    report.unrecoverable_stripes += 1;
+                }
+            }
+        }
+        self.stats.count_scrub();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::{FaultDevice, FaultPlan, MemDevice};
+
+    fn cfg() -> ResilienceConfig {
+        ResilienceConfig::default()
+            .with_fs(StegFsConfig::default().with_block_size(512))
+            .with_stripe(4, 2)
+    }
+
+    fn master() -> Key256 {
+        Key256::from_passphrase("resilient-owner")
+    }
+
+    fn content(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn fresh_store() -> ResilientStore<FaultDevice<MemDevice>> {
+        let dev = FaultDevice::new(MemDevice::new(512, 512));
+        ResilientStore::format(dev, cfg(), &master(), 7).unwrap()
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let store = fresh_store();
+        let data = content(3000);
+        store.create_file("/a", &data).unwrap();
+        assert_eq!(store.read_file("/a").unwrap(), data);
+        assert!(store.stats().reads_verified > 0);
+        assert_eq!(store.stats().read_check_failures, 0);
+    }
+
+    #[test]
+    fn reopen_from_anchor_recovers_everything() {
+        let store = fresh_store();
+        let a = content(2000);
+        let b = content(700);
+        store.create_file("/a", &a).unwrap();
+        store.create_file("/b", &b).unwrap();
+        let device = store.fs.into_device();
+
+        let reopened = ResilientStore::open(device, cfg(), &master(), 8).unwrap();
+        assert_eq!(reopened.paths(), vec!["/a".to_string(), "/b".to_string()]);
+        assert_eq!(reopened.read_file("/a").unwrap(), a);
+        assert_eq!(reopened.read_file("/b").unwrap(), b);
+    }
+
+    #[test]
+    fn wrong_master_cannot_open() {
+        let store = fresh_store();
+        store.create_file("/a", &content(100)).unwrap();
+        let device = store.fs.into_device();
+        assert!(matches!(
+            ResilientStore::open(device, cfg(), &Key256::from_passphrase("wrong"), 8),
+            Err(ResilienceError::AnchorUnrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn read_path_repairs_corrupted_block() {
+        let store = fresh_store();
+        let data = content(4000);
+        store.create_file("/a", &data).unwrap();
+
+        let victim = {
+            let state = store.file_state("/a").unwrap();
+            let g = state.read();
+            g.open.header.blocks[2]
+        };
+        let mut plan = FaultPlan::new(11);
+        plan.zero_block(victim);
+        store.fs.device().apply_plan(&plan).unwrap();
+
+        assert_eq!(store.read_file("/a").unwrap(), data);
+        let stats = store.stats();
+        assert_eq!(stats.read_check_failures, 1);
+        assert_eq!(stats.blocks_repaired, 1);
+        // Repaired onto a fresh block; the old location is dummy again.
+        let state = store.file_state("/a").unwrap();
+        assert_ne!(state.read().open.header.blocks[2], victim);
+        assert_eq!(store.block_map().class(victim), BlockClass::Dummy);
+        // A second read is clean.
+        assert_eq!(store.read_file("/a").unwrap(), data);
+        assert_eq!(store.stats().read_check_failures, 1);
+    }
+
+    #[test]
+    fn beyond_parity_tolerance_reports_never_lies() {
+        let store = fresh_store();
+        let data = content(2000); // 5 blocks of 496 → stripes of 4
+        store.create_file("/a", &data).unwrap();
+
+        // Corrupt 3 blocks of stripe 0 (m = 2 tolerated).
+        let victims = {
+            let state = store.file_state("/a").unwrap();
+            let g = state.read();
+            g.open.header.blocks[..3].to_vec()
+        };
+        let mut plan = FaultPlan::new(13);
+        for v in victims {
+            plan.zero_block(v);
+        }
+        store.fs.device().apply_plan(&plan).unwrap();
+
+        match store.read_file("/a") {
+            Err(ResilienceError::Unrecoverable { path, stripes }) => {
+                assert_eq!(path, "/a");
+                assert_eq!(stripes, vec![0]);
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        assert_eq!(store.stats().unrecoverable_stripes, 1);
+    }
+
+    #[test]
+    fn scrub_finds_and_repairs_silent_corruption() {
+        let store = fresh_store();
+        let data = content(5000);
+        store.create_file("/a", &data).unwrap();
+
+        let (victim_data, victim_parity) = {
+            let state = store.file_state("/a").unwrap();
+            let g = state.read();
+            (
+                g.open.header.blocks[0],
+                g.stripes.parity_entry(1, 0).location,
+            )
+        };
+        let mut plan = FaultPlan::new(17);
+        plan.flip_bit(victim_data);
+        plan.zero_block(victim_parity);
+        let sites = store.fs.device().apply_plan(&plan).unwrap();
+        assert_eq!(sites.len(), 2);
+
+        let report = store.scrub().unwrap();
+        assert!(report.fully_repaired());
+        assert_eq!(report.degraded_stripes, 2);
+        assert_eq!(report.blocks_repaired, 2);
+        let mut detected = report.detected.clone();
+        detected.sort_unstable();
+        let mut expected = vec![victim_data, victim_parity];
+        expected.sort_unstable();
+        assert_eq!(detected, expected);
+        assert_eq!(store.read_file("/a").unwrap(), data);
+
+        // Scrub again: clean.
+        let report2 = store.scrub().unwrap();
+        assert!(report2.is_clean());
+    }
+
+    #[test]
+    fn scrub_heals_corrupt_anchor_replica() {
+        let store = fresh_store();
+        store.create_file("/a", &content(300)).unwrap();
+        let replica = VolumeAnchor::replica_blocks(512)[1];
+        let mut plan = FaultPlan::new(19);
+        plan.zero_block(replica);
+        store.fs.device().apply_plan(&plan).unwrap();
+
+        let report = store.scrub().unwrap();
+        assert_eq!(report.anchor_replicas_repaired, 1);
+        // The healed volume reopens fine even if another replica dies next.
+        let device = store.fs.into_device();
+        let reopened = ResilientStore::open(device, cfg(), &master(), 9).unwrap();
+        assert_eq!(reopened.read_file("/a").unwrap(), content(300));
+    }
+
+    #[test]
+    fn reseal_preserves_parity_relations() {
+        let store = fresh_store();
+        let data = content(3500);
+        store.create_file("/a", &data).unwrap();
+        for _ in 0..3 {
+            store.reseal_file("/a").unwrap();
+        }
+        // All ciphertexts changed, but a scrub still finds the volume clean
+        // and a degraded read still reconstructs.
+        assert!(store.scrub().unwrap().is_clean());
+        let victim = {
+            let state = store.file_state("/a").unwrap();
+            let g = state.read();
+            g.open.header.blocks[1]
+        };
+        let mut plan = FaultPlan::new(23);
+        plan.zero_block(victim);
+        store.fs.device().apply_plan(&plan).unwrap();
+        assert_eq!(store.read_file("/a").unwrap(), data);
+    }
+
+    #[test]
+    fn delta_parity_update_matches_full_reencode() {
+        let store = fresh_store();
+        let data = content(4000);
+        store.create_file("/a", &data).unwrap();
+
+        let per = store.fs().content_bytes_per_block();
+        let new_block = vec![0x5au8; per];
+        store.write_block("/a", 1, &new_block).unwrap();
+
+        let mut expected = data.clone();
+        expected[per..2 * per].copy_from_slice(&new_block);
+        assert_eq!(store.read_file("/a").unwrap(), expected);
+        // Parity still reconstructs after the delta update: kill the block
+        // we just wrote and read through repair.
+        let victim = {
+            let state = store.file_state("/a").unwrap();
+            let g = state.read();
+            g.open.header.blocks[1]
+        };
+        let mut plan = FaultPlan::new(29);
+        plan.zero_block(victim);
+        store.fs.device().apply_plan(&plan).unwrap();
+        assert_eq!(store.read_file("/a").unwrap(), expected);
+        // And the scrub agrees everything is consistent.
+        assert!(store.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn torn_write_mid_update_is_recovered() {
+        let store = fresh_store();
+        let data = content(4000);
+        store.create_file("/a", &data).unwrap();
+
+        // The next scalar write lands only half a sector: tear the data
+        // block write of an update mid-flight.
+        let per = store.fs().content_bytes_per_block();
+        store.fs.device().arm_partial_scalar_write(100);
+        let new_block = vec![0x77u8; per];
+        store.write_block("/a", 0, &new_block).unwrap();
+
+        // The torn block fails its check; parity (updated from the intended
+        // delta) reconstructs the *new* content.
+        let mut expected = data.clone();
+        expected[..per].copy_from_slice(&new_block);
+        assert_eq!(store.read_file("/a").unwrap(), expected);
+        assert!(store.stats().read_check_failures >= 1);
+    }
+
+    #[test]
+    fn unknown_file_and_duplicate_create() {
+        let store = fresh_store();
+        assert!(matches!(
+            store.read_file("/nope"),
+            Err(ResilienceError::UnknownFile(_))
+        ));
+        store.create_file("/a", &content(10)).unwrap();
+        assert!(store.create_file("/a", &content(10)).is_err());
+    }
+
+    #[test]
+    fn parity_blocks_look_like_free_space() {
+        // A parity block and a never-used block are both `IV ‖ CBC bytes`
+        // with no plaintext structure; spot-check that parity blocks are not
+        // trivially distinguishable (full chi-square analysis lives in the
+        // stegfs-analysis integration test).
+        let store = fresh_store();
+        store.create_file("/a", &content(3000)).unwrap();
+        let state = store.file_state("/a").unwrap();
+        let g = state.read();
+        let loc = g.stripes.parity_locations()[0];
+        let mut buf = vec![0u8; 512];
+        store.fs.device().read_block(loc, &mut buf).unwrap();
+        let mut counts = [0u32; 256];
+        for &b in &buf {
+            counts[b as usize] += 1;
+        }
+        assert!(*counts.iter().max().unwrap() < 20);
+    }
+}

@@ -1,0 +1,418 @@
+//! Stripe geometry, per-block integrity checks and the per-file stripe map.
+//!
+//! Every hidden file's content blocks are grouped into stripes of `k`
+//! consecutive blocks; each stripe gets `m` parity blocks placed like any
+//! other hidden block. The [`StripeMap`] records, per data block, two
+//! integrity checks over the *plaintext* data field, plus the location and
+//! checks of every parity block:
+//!
+//! * a 16-byte truncated HMAC-SHA-256 — the authoritative check the scrub
+//!   pass verifies (forging it requires the MAC key);
+//! * an 8-byte keyed multiply-xor hash — the cheap check the read path
+//!   verifies on every block so that silent corruption is caught inline
+//!   without paying a second SHA-256 pass per read (HMAC on the read path
+//!   would cost more than the AES decrypt itself and blow the striping
+//!   overhead budget).
+//!
+//! The map is persisted as the content of a *shadow hidden file* — sealed and
+//! scattered like every other hidden file — so it never appears in plaintext
+//! on disk.
+
+use stegfs_crypto::{HmacSha256, Key256};
+
+use crate::error::ResilienceError;
+
+/// Magic prefix of an encoded stripe map.
+const MAP_MAGIC: [u8; 8] = *b"RSMAP001";
+
+/// Striping parameters: `k` data blocks + `m` parity blocks per stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeConfig {
+    /// Data blocks per stripe.
+    pub k: usize,
+    /// Parity blocks per stripe.
+    pub m: usize,
+}
+
+impl StripeConfig {
+    /// Create a configuration, validating the code shape.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k >= 1 && m >= 1 && k + m <= 256, "invalid stripe shape");
+        Self { k, m }
+    }
+
+    /// Stripe index covering data block `index`.
+    pub fn stripe_of(&self, index: u64) -> u64 {
+        index / self.k as u64
+    }
+
+    /// Number of stripes needed for `num_data` data blocks.
+    pub fn num_stripes(&self, num_data: u64) -> u64 {
+        num_data.div_ceil(self.k as u64)
+    }
+}
+
+/// The pair of integrity checks kept for one block's plaintext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockCheck {
+    /// Keyed multiply-xor hash; verified on every read.
+    pub fast: u64,
+    /// Truncated HMAC-SHA-256; verified by scrub.
+    pub mac: [u8; 16],
+}
+
+impl BlockCheck {
+    const ENCODED_LEN: usize = 8 + 16;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.fast.to_le_bytes());
+        out.extend_from_slice(&self.mac);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let fast = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let mut mac = [0u8; 16];
+        mac.copy_from_slice(&buf[8..24]);
+        Self { fast, mac }
+    }
+}
+
+/// Location and checks of one parity block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParityEntry {
+    /// Physical block holding the sealed parity shard.
+    pub location: u64,
+    /// Checks over the parity plaintext.
+    pub check: BlockCheck,
+}
+
+impl ParityEntry {
+    const ENCODED_LEN: usize = 8 + BlockCheck::ENCODED_LEN;
+}
+
+/// Keys for computing both block checks, derived once per file.
+pub struct ChecksumKeys {
+    hmac: HmacSha256,
+    s0: u64,
+    s1: u64,
+}
+
+impl ChecksumKeys {
+    /// Derive the check keys from a file key (the content key for data and
+    /// parity blocks).
+    pub fn derive(key: &Key256) -> Self {
+        let mac_key = key.derive("resilience:mac");
+        let fast_key = key.derive("resilience:fast");
+        let fb = fast_key.as_bytes();
+        Self {
+            hmac: HmacSha256::new(mac_key.as_bytes()),
+            s0: u64::from_le_bytes(fb[..8].try_into().unwrap()) | 1,
+            s1: u64::from_le_bytes(fb[8..16].try_into().unwrap()) | 1,
+        }
+    }
+
+    /// The authoritative 16-byte truncated HMAC of `data`.
+    pub fn mac16(&self, data: &[u8]) -> [u8; 16] {
+        let full = self.hmac.mac_with(data);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&full[..16]);
+        out
+    }
+
+    /// The cheap keyed hash of `data`: a wyhash-style multiply-xor fold over
+    /// 8-byte lanes. Not collision-resistant against an adversary who knows
+    /// the key — that is what [`ChecksumKeys::mac16`] is for — but any bit
+    /// flip or zeroed block changes it with overwhelming probability, which
+    /// is the failure model of cover-traffic overwrites.
+    pub fn fast(&self, data: &[u8]) -> u64 {
+        const M: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut h = self.s0 ^ (data.len() as u64).wrapping_mul(M);
+        let mut chunks = data.chunks_exact(8);
+        for lane in &mut chunks {
+            let v = u64::from_le_bytes(lane.try_into().unwrap());
+            h = (h ^ v).wrapping_mul(M).rotate_left(29) ^ self.s1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            let v = u64::from_le_bytes(tail);
+            h = (h ^ v).wrapping_mul(M).rotate_left(29) ^ self.s1;
+        }
+        // Final avalanche.
+        h ^= h >> 32;
+        h = h.wrapping_mul(M);
+        h ^ (h >> 29)
+    }
+
+    /// Both checks of `data` at once.
+    pub fn check(&self, data: &[u8]) -> BlockCheck {
+        BlockCheck {
+            fast: self.fast(data),
+            mac: self.mac16(data),
+        }
+    }
+}
+
+/// The per-file stripe map: data-block checks plus parity locations/checks.
+///
+/// Its encoded form has a fixed length for a given (k, m, number of data
+/// blocks), so the shadow file holding it can be rewritten in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeMap {
+    cfg: StripeConfig,
+    data: Vec<BlockCheck>,
+    parity: Vec<ParityEntry>,
+}
+
+impl StripeMap {
+    /// Create an all-zero map for a file of `num_data` data blocks.
+    pub fn new(cfg: StripeConfig, num_data: u64) -> Self {
+        let stripes = cfg.num_stripes(num_data);
+        Self {
+            cfg,
+            data: vec![BlockCheck::default(); num_data as usize],
+            parity: vec![ParityEntry::default(); (stripes * cfg.m as u64) as usize],
+        }
+    }
+
+    /// The striping parameters.
+    pub fn config(&self) -> StripeConfig {
+        self.cfg
+    }
+
+    /// Number of data blocks covered.
+    pub fn num_data(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> u64 {
+        self.cfg.num_stripes(self.num_data())
+    }
+
+    /// Check of data block `index`.
+    pub fn data_check(&self, index: u64) -> &BlockCheck {
+        &self.data[index as usize]
+    }
+
+    /// Record the check of data block `index`.
+    pub fn set_data_check(&mut self, index: u64, check: BlockCheck) {
+        self.data[index as usize] = check;
+    }
+
+    /// Parity entry `row` of `stripe`.
+    pub fn parity_entry(&self, stripe: u64, row: usize) -> &ParityEntry {
+        &self.parity[stripe as usize * self.cfg.m + row]
+    }
+
+    /// Record parity entry `row` of `stripe`.
+    pub fn set_parity_entry(&mut self, stripe: u64, row: usize, entry: ParityEntry) {
+        self.parity[stripe as usize * self.cfg.m + row] = entry;
+    }
+
+    /// The data-block indices belonging to `stripe` (the final stripe may be
+    /// shorter than `k`).
+    pub fn stripe_data_range(&self, stripe: u64) -> core::ops::Range<u64> {
+        let start = stripe * self.cfg.k as u64;
+        let end = (start + self.cfg.k as u64).min(self.num_data());
+        start..end
+    }
+
+    /// All parity locations in the map, in (stripe, row) order.
+    pub fn parity_locations(&self) -> Vec<u64> {
+        self.parity.iter().map(|e| e.location).collect()
+    }
+
+    /// Encoded length of a map for `num_data` data blocks under `cfg`.
+    pub fn encoded_len(cfg: StripeConfig, num_data: u64) -> usize {
+        let stripes = cfg.num_stripes(num_data);
+        16 + num_data as usize * BlockCheck::ENCODED_LEN
+            + (stripes * cfg.m as u64) as usize * ParityEntry::ENCODED_LEN
+    }
+
+    /// Serialize; the output length is [`StripeMap::encoded_len`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::encoded_len(self.cfg, self.num_data()));
+        out.extend_from_slice(&MAP_MAGIC);
+        out.extend_from_slice(&(self.cfg.k as u16).to_le_bytes());
+        out.extend_from_slice(&(self.cfg.m as u16).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        for c in &self.data {
+            c.encode_into(&mut out);
+        }
+        for e in &self.parity {
+            out.extend_from_slice(&e.location.to_le_bytes());
+            e.check.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Reconstruct a map from [`StripeMap::encode`] output, validating the
+    /// magic, shape and length.
+    pub fn decode(buf: &[u8]) -> Result<Self, ResilienceError> {
+        if buf.len() < 16 || buf[..8] != MAP_MAGIC {
+            return Err(ResilienceError::Corrupt("bad stripe map magic".to_string()));
+        }
+        let k = u16::from_le_bytes(buf[8..10].try_into().unwrap()) as usize;
+        let m = u16::from_le_bytes(buf[10..12].try_into().unwrap()) as usize;
+        if k < 1 || m < 1 || k + m > 256 {
+            return Err(ResilienceError::Corrupt(format!(
+                "implausible stripe shape k={k} m={m}"
+            )));
+        }
+        let cfg = StripeConfig { k, m };
+        let num_data = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as u64;
+        let need = Self::encoded_len(cfg, num_data);
+        if buf.len() < need {
+            return Err(ResilienceError::Corrupt(format!(
+                "stripe map truncated: {} < {need} bytes",
+                buf.len()
+            )));
+        }
+        let mut data = Vec::with_capacity(num_data as usize);
+        let mut off = 16;
+        for _ in 0..num_data {
+            data.push(BlockCheck::decode(&buf[off..off + BlockCheck::ENCODED_LEN]));
+            off += BlockCheck::ENCODED_LEN;
+        }
+        let entries = cfg.num_stripes(num_data) * m as u64;
+        let mut parity = Vec::with_capacity(entries as usize);
+        for _ in 0..entries {
+            let location = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            let check = BlockCheck::decode(&buf[off + 8..off + ParityEntry::ENCODED_LEN]);
+            parity.push(ParityEntry { location, check });
+            off += ParityEntry::ENCODED_LEN;
+        }
+        Ok(Self { cfg, data, parity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> ChecksumKeys {
+        ChecksumKeys::derive(&Key256::from_passphrase("stripe-test"))
+    }
+
+    #[test]
+    fn stripe_geometry() {
+        let cfg = StripeConfig::new(4, 2);
+        assert_eq!(cfg.stripe_of(0), 0);
+        assert_eq!(cfg.stripe_of(3), 0);
+        assert_eq!(cfg.stripe_of(4), 1);
+        assert_eq!(cfg.num_stripes(0), 0);
+        assert_eq!(cfg.num_stripes(1), 1);
+        assert_eq!(cfg.num_stripes(4), 1);
+        assert_eq!(cfg.num_stripes(5), 2);
+    }
+
+    #[test]
+    fn fast_hash_detects_corruption() {
+        let k = keys();
+        let data = vec![0x5au8; 4080];
+        let h = k.fast(&data);
+        assert_eq!(h, k.fast(&data), "deterministic");
+
+        let mut flipped = data.clone();
+        flipped[1000] ^= 0x01;
+        assert_ne!(h, k.fast(&flipped), "single bit flip detected");
+
+        let zeroed = vec![0u8; 4080];
+        assert_ne!(h, k.fast(&zeroed), "zeroing detected");
+        assert_ne!(k.fast(&data[..100]), k.fast(&data[..101]), "length bound");
+    }
+
+    #[test]
+    fn fast_hash_is_keyed() {
+        let a = ChecksumKeys::derive(&Key256::from_passphrase("a"));
+        let b = ChecksumKeys::derive(&Key256::from_passphrase("b"));
+        let data = vec![7u8; 256];
+        assert_ne!(a.fast(&data), b.fast(&data));
+        assert_ne!(a.mac16(&data), b.mac16(&data));
+    }
+
+    #[test]
+    fn mac_matches_plain_hmac_truncation() {
+        let master = Key256::from_passphrase("x");
+        let k = ChecksumKeys::derive(&master);
+        let data = b"payload bytes";
+        let expect = HmacSha256::mac(master.derive("resilience:mac").as_bytes(), data);
+        assert_eq!(k.mac16(data), expect[..16]);
+    }
+
+    #[test]
+    fn check_combines_both() {
+        let k = keys();
+        let data = vec![3u8; 64];
+        let c = k.check(&data);
+        assert_eq!(c.fast, k.fast(&data));
+        assert_eq!(c.mac, k.mac16(&data));
+    }
+
+    #[test]
+    fn map_roundtrip_and_fixed_length() {
+        let cfg = StripeConfig::new(4, 2);
+        let mut map = StripeMap::new(cfg, 10);
+        assert_eq!(map.num_stripes(), 3);
+        let k = keys();
+        for i in 0..10u64 {
+            map.set_data_check(i, k.check(&[i as u8; 32]));
+        }
+        for s in 0..3u64 {
+            for r in 0..2 {
+                map.set_parity_entry(
+                    s,
+                    r,
+                    ParityEntry {
+                        location: 100 + s * 10 + r as u64,
+                        check: k.check(&[0xF0 ^ s as u8; 32]),
+                    },
+                );
+            }
+        }
+        let bytes = map.encode();
+        assert_eq!(bytes.len(), StripeMap::encoded_len(cfg, 10));
+        let decoded = StripeMap::decode(&bytes).unwrap();
+        assert_eq!(decoded, map);
+        // A fresh map of the same shape encodes to the same length, so the
+        // shadow file can be rewritten in place.
+        assert_eq!(StripeMap::new(cfg, 10).encode().len(), bytes.len());
+    }
+
+    #[test]
+    fn short_final_stripe_range() {
+        let map = StripeMap::new(StripeConfig::new(4, 1), 6);
+        assert_eq!(map.stripe_data_range(0), 0..4);
+        assert_eq!(map.stripe_data_range(1), 4..6);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(StripeMap::decode(b"short").is_err());
+        let mut bytes = StripeMap::new(StripeConfig::new(4, 2), 5).encode();
+        bytes[0] ^= 0xff;
+        assert!(StripeMap::decode(&bytes).is_err());
+        let bytes = StripeMap::new(StripeConfig::new(4, 2), 5).encode();
+        assert!(StripeMap::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn parity_locations_in_order() {
+        let mut map = StripeMap::new(StripeConfig::new(2, 2), 4);
+        for s in 0..2u64 {
+            for r in 0..2 {
+                map.set_parity_entry(
+                    s,
+                    r,
+                    ParityEntry {
+                        location: s * 2 + r as u64,
+                        check: BlockCheck::default(),
+                    },
+                );
+            }
+        }
+        assert_eq!(map.parity_locations(), vec![0, 1, 2, 3]);
+    }
+}

@@ -98,6 +98,43 @@ impl FileAccessKey {
         self.content_key.is_some()
     }
 
+    /// Length of the [`FileAccessKey::to_bytes`] encoding.
+    pub const ENCODED_LEN: usize = 1 + 32 + 32 + 32;
+
+    /// Serialise the FAK: a presence flag for the content key followed by the
+    /// three 32-byte components (zeros standing in for a withheld content
+    /// key). Callers must treat the result as key material — the resilience
+    /// tier only ever writes it sealed inside the volume anchor's encrypted
+    /// payload.
+    pub fn to_bytes(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[0] = u8::from(self.content_key.is_some());
+        out[1..33].copy_from_slice(self.location_secret.as_bytes());
+        out[33..65].copy_from_slice(self.header_key.as_bytes());
+        if let Some(ck) = &self.content_key {
+            out[65..97].copy_from_slice(ck.as_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`FileAccessKey::to_bytes`]. Returns `None` on a wrong
+    /// length or an unknown presence flag.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN || bytes[0] > 1 {
+            return None;
+        }
+        let content_key = if bytes[0] == 1 {
+            Some(Key256::from_slice(&bytes[65..97]).ok()?)
+        } else {
+            None
+        };
+        Some(Self {
+            location_secret: Key256::from_slice(&bytes[1..33]).ok()?,
+            header_key: Key256::from_slice(&bytes[33..65]).ok()?,
+            content_key,
+        })
+    }
+
     /// Derive the header block location for a file at `path` on a volume with
     /// `payload_blocks` payload blocks and public `salt`, plus a probe
     /// sequence for collision resolution.
@@ -192,6 +229,27 @@ mod tests {
             decoy.header_location(&salt, "/f", 0, 100),
             fak.header_location(&salt, "/f", 0, 100)
         );
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_all_components() {
+        let fak = FileAccessKey::from_passphrase("roundtrip");
+        let bytes = fak.to_bytes();
+        assert_eq!(bytes.len(), FileAccessKey::ENCODED_LEN);
+        assert_eq!(FileAccessKey::from_bytes(&bytes).unwrap(), fak);
+
+        let withheld = fak.without_content_key();
+        let decoded = FileAccessKey::from_bytes(&withheld.to_bytes()).unwrap();
+        assert_eq!(decoded, withheld);
+        assert!(!decoded.has_content_key());
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(FileAccessKey::from_bytes(&[0u8; 10]).is_none());
+        let mut bytes = FileAccessKey::from_passphrase("x").to_bytes();
+        bytes[0] = 7;
+        assert!(FileAccessKey::from_bytes(&bytes).is_none());
     }
 
     #[test]

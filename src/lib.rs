@@ -12,6 +12,8 @@
 //!   (Constructions 1 and 2 of Section 4) that hides data updates.
 //! * [`stegfs_oblivious`] — the oblivious storage of Section 5 that hides
 //!   read traffic.
+//! * [`stegfs_resilience`] — erasure-coded stripes, the replicated
+//!   self-healing volume anchor, and the scrub/repair sweep.
 //! * [`stegfs_base`] — the underlying steganographic file system substrate
 //!   (ICDE 2003 StegFS).
 //! * [`stegfs_blockdev`] — raw block devices, I/O tracing, and the simulated
@@ -28,6 +30,7 @@ pub use stegfs_baselines as baselines;
 pub use stegfs_blockdev as blockdev;
 pub use stegfs_crypto as crypto;
 pub use stegfs_oblivious as oblivious;
+pub use stegfs_resilience as resilience;
 pub use stegfs_workload as workload;
 pub use steghide;
 
@@ -40,5 +43,6 @@ pub mod prelude {
     };
     pub use stegfs_crypto::{Aes256, CbcCipher, HashDrbg, Key256, Sha256};
     pub use stegfs_oblivious::{ObliviousConfig, ObliviousStore};
+    pub use stegfs_resilience::{ResilienceConfig, ResilientStore, StripeConfig};
     pub use steghide::{AgentConfig, NonVolatileAgent, VolatileAgent};
 }

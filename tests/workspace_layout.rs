@@ -83,6 +83,7 @@ fn expected_figure_and_table_bins_exist() {
         "crypto_baseline",
         "oblivious_baseline",
         "concurrent_baseline",
+        "resilience_baseline",
     ] {
         assert!(
             on_disk.contains(required),
