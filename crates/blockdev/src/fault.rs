@@ -109,14 +109,21 @@ impl FaultPlan {
     }
 }
 
+/// One armed tear of a ranged write: how many leading whole blocks land,
+/// plus how many bytes of the block after them (a torn sector mid-range).
+#[derive(Debug, Clone, Copy)]
+struct RangedTear {
+    landed_blocks: u64,
+    partial_bytes: usize,
+}
+
 /// A [`BlockDevice`] wrapper that injects faults and keeps bookkeeping of
 /// every fault it injected.
 pub struct FaultDevice<D> {
     inner: D,
     injected: Mutex<Vec<FaultSite>>,
-    /// Armed torn ranged writes: each entry is the number of leading blocks
-    /// of the next ranged write that will land.
-    torn_ranged: Mutex<VecDeque<u64>>,
+    /// Armed torn ranged writes, applied in order to the next ranged writes.
+    torn_ranged: Mutex<VecDeque<RangedTear>>,
     /// Armed partial scalar writes: each entry is the number of leading bytes
     /// of the next scalar write that will land.
     torn_scalar: Mutex<VecDeque<usize>>,
@@ -183,7 +190,23 @@ impl<D: BlockDevice> FaultDevice<D> {
     /// blocks and silently drops the rest (recorded as
     /// [`FaultKind::TornWrite`] sites). Multiple arms queue in order.
     pub fn arm_torn_ranged_write(&self, landed_blocks: u64) {
-        self.torn_ranged.lock().push_back(landed_blocks);
+        self.torn_ranged.lock().push_back(RangedTear {
+            landed_blocks,
+            partial_bytes: 0,
+        });
+    }
+
+    /// Arm a torn ranged write that tears *mid-block*: the next call to
+    /// [`BlockDevice::write_blocks`] lands its first `landed_blocks` whole
+    /// blocks plus the first `partial_bytes` bytes of the following block
+    /// (whose remainder keeps its previous content), and drops the rest.
+    /// This is the sub-sector crash shape: a ranged write dies inside a
+    /// sector rather than on a block boundary.
+    pub fn arm_torn_ranged_write_partial(&self, landed_blocks: u64, partial_bytes: usize) {
+        self.torn_ranged.lock().push_back(RangedTear {
+            landed_blocks,
+            partial_bytes,
+        });
     }
 
     /// Arm a partial scalar write: the next call to
@@ -265,14 +288,24 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
         let armed = self.torn_ranged.lock().pop_front();
         match armed {
             None => self.inner.write_blocks(start, buf),
-            Some(landed_blocks) => {
+            Some(tear) => {
                 self.check_range_access(start, buf.len())?;
                 let bs = self.block_size();
                 let total = (buf.len() / bs) as u64;
-                let landed = landed_blocks.min(total);
+                let landed = tear.landed_blocks.min(total);
                 if landed > 0 {
                     self.inner
                         .write_blocks(start, &buf[..(landed as usize) * bs])?;
+                }
+                // Mid-range tear: part of the block after the landed prefix.
+                if landed < total && tear.partial_bytes > 0 {
+                    let block = start + landed;
+                    let n = tear.partial_bytes.min(bs);
+                    let mut old = vec![0u8; bs];
+                    self.inner.read_block(block, &mut old)?;
+                    let off = (landed as usize) * bs;
+                    old[..n].copy_from_slice(&buf[off..off + n]);
+                    self.inner.write_block(block, &old)?;
                 }
                 let mut sites = self.injected.lock();
                 for b in landed..total {
@@ -382,6 +415,25 @@ mod tests {
         // The tear is consumed: the next write is whole.
         dev.write_blocks(1, &vec![0x44u8; 4 * 512]).unwrap();
         assert!(dev.read_block_vec(4).unwrap().iter().all(|&b| b == 0x44));
+    }
+
+    #[test]
+    fn mid_range_tear_lands_partial_bytes_of_the_next_block() {
+        let dev = FaultDevice::new(MemDevice::new(8, 512));
+        for b in 0..8 {
+            dev.inner().fill_block(b, 0xee).unwrap();
+        }
+        dev.arm_torn_ranged_write_partial(1, 64);
+        dev.write_blocks(1, &vec![0x33u8; 4 * 512]).unwrap();
+        // Block 1 landed whole; block 2 got its first 64 bytes; 3, 4 intact.
+        assert!(dev.read_block_vec(1).unwrap().iter().all(|&b| b == 0x33));
+        let torn = dev.read_block_vec(2).unwrap();
+        assert!(torn[..64].iter().all(|&b| b == 0x33));
+        assert!(torn[64..].iter().all(|&b| b == 0xee));
+        assert!(dev.read_block_vec(3).unwrap().iter().all(|&b| b == 0xee));
+        assert!(dev.read_block_vec(4).unwrap().iter().all(|&b| b == 0xee));
+        // The torn block and the dropped tail are all recorded.
+        assert_eq!(dev.injected_blocks(FaultKind::TornWrite), vec![2, 3, 4]);
     }
 
     #[test]

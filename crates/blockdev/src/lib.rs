@@ -20,6 +20,9 @@
 //! * [`FaultDevice`] — wrapper that injects deterministic seeded faults (bit
 //!   flips, zeroed blocks, torn ranged/scalar writes) with per-site
 //!   bookkeeping, the failure model the resilience tier is tested against.
+//! * [`CrashDevice`] — wrapper that cuts power after a configured write
+//!   index, landing exactly a prefix of an operation's writes, plus the
+//!   [`CrashPoint`] enumerator behind the exhaustive crash-recovery matrix.
 //! * [`TracingDevice`] — wrapper that records every I/O request (the
 //!   traffic-analysis attacker's view) and can take full snapshots (the
 //!   update-analysis attacker's view).
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crash;
 mod device;
 mod fault;
 mod file;
@@ -45,6 +49,7 @@ mod stats;
 mod submission;
 mod trace;
 
+pub use crash::{clone_to_mem, CrashDevice, CrashPoint};
 pub use device::{BlockDevice, BlockDeviceExt, BlockId, DeviceError, DeviceGeometry, ScalarDevice};
 pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultSite};
 pub use file::FileDevice;

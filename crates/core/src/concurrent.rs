@@ -52,6 +52,17 @@ use crate::registry::{FileId, Registry};
 use crate::stats::{SharedUpdateStats, UpdateStats};
 use crate::update::UpdateOutcome;
 
+/// A pluggable victim stream for dummy updates. The uniform sampler is the
+/// default; a source lets maintenance work (scrub cursors, targeted refresh
+/// sweeps) pick the blocks the cover traffic touches — the observable stream
+/// must stay statistically indistinguishable from uniform, which the
+/// integration suite checks with a KL bound.
+pub trait VictimSource: Sync {
+    /// The next `k` victim payload blocks. May return fewer (or out-of-range
+    /// ids); the agent pads with uniform draws.
+    fn next_victims(&self, k: usize) -> Vec<BlockId>;
+}
+
 /// Lock-decomposed multi-user serving agent (Construction 1 keying).
 pub struct ConcurrentAgent<D> {
     fs: StegFs<D>,
@@ -301,8 +312,36 @@ impl<D: BlockDevice> ConcurrentAgent<D> {
     /// and each shard's update lock is taken exactly once for its whole
     /// group. Returns the touched blocks in selection order.
     pub fn dummy_update_batch(&self, k: usize) -> Result<Vec<u64>, AgentError> {
-        let _shared = self.structural.read();
         let candidates = self.draw_candidates(k);
+        self.dummy_update_candidates(candidates)
+    }
+
+    /// Issue `k` dummy updates drawing the victims from `source` instead of
+    /// the uniform sampler — the hook that lets maintenance sweeps (e.g. a
+    /// scrub cursor) ride the cover-traffic stream. Out-of-range victims and
+    /// any shortfall below `k` are replaced by uniform draws, so a
+    /// misbehaving source degrades to ordinary cover traffic rather than
+    /// skewing or starving it.
+    pub fn dummy_update_batch_from(
+        &self,
+        k: usize,
+        source: &dyn VictimSource,
+    ) -> Result<Vec<u64>, AgentError> {
+        let payload = self.fs.superblock().payload_blocks();
+        let mut candidates: Vec<u64> = source
+            .next_victims(k)
+            .into_iter()
+            .filter(|&b| b >= 1 && b <= payload)
+            .take(k)
+            .collect();
+        while candidates.len() < k {
+            candidates.push(self.draw_candidate());
+        }
+        self.dummy_update_candidates(candidates)
+    }
+
+    fn dummy_update_candidates(&self, candidates: Vec<u64>) -> Result<Vec<u64>, AgentError> {
+        let _shared = self.structural.read();
         let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); self.update_locks.len()];
         for &block in &candidates {
             by_shard[self.map.shard_of(block)].push(block);

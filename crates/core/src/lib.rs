@@ -43,7 +43,7 @@ mod stats;
 mod update;
 mod volatile;
 
-pub use concurrent::ConcurrentAgent;
+pub use concurrent::{ConcurrentAgent, VictimSource};
 pub use config::AgentConfig;
 pub use error::AgentError;
 pub use nonvolatile::NonVolatileAgent;

@@ -12,6 +12,12 @@ pub struct ObliviousConfig {
     pub buffer_blocks: u64,
     /// Number of items the last level must be able to hold (the paper's `N`).
     pub last_level_blocks: u64,
+    /// Persist the structural write epoch in a sealed record block after the
+    /// levels, written odd entering and even leaving every flush/dump
+    /// cascade. A mount can then tell a cleanly finished pass from one a
+    /// power cut interrupted (see `ObliviousStore::epoch_state`). Off by
+    /// default: it costs two extra block writes per structural pass.
+    pub persist_epoch: bool,
 }
 
 impl ObliviousConfig {
@@ -26,7 +32,14 @@ impl ObliviousConfig {
         Self {
             buffer_blocks,
             last_level_blocks,
+            persist_epoch: false,
         }
+    }
+
+    /// Enable the persisted write-epoch record.
+    pub fn with_persisted_epoch(mut self) -> Self {
+        self.persist_epoch = true;
+        self
     }
 
     /// Number of levels `k = ceil(log2(N/B))`.

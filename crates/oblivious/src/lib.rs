@@ -71,4 +71,4 @@ pub use error::ObliviousError;
 pub use extsort::{ExternalSorter, SortRecord};
 pub use front::{FrontStats, ObliviousReadFront};
 pub use stats::{ObliviousStats, SharedObliviousStats};
-pub use store::ObliviousStore;
+pub use store::{EpochState, ObliviousStore};

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use stegfs_base::BlockCodec;
 use stegfs_blockdev::{sim::SimClock, BlockDevice};
-use stegfs_crypto::{HashDrbg, Key256};
+use stegfs_crypto::{HashDrbg, HmacSha256, Key256};
 
 use crate::config::ObliviousConfig;
 use crate::det::{DetHashMap, DetHashSet};
@@ -37,6 +37,33 @@ use crate::error::ObliviousError;
 use crate::extsort::ExternalSorter;
 use crate::level::{Level, MaintenanceIo};
 use crate::stats::{ObliviousStats, SharedObliviousStats};
+
+/// Magic prefix of the sealed write-epoch record.
+const EPOCH_MAGIC: [u8; 8] = *b"SOEP\x01\0\0\0";
+/// Truncated-HMAC length authenticating the record from the inside (the
+/// block codec itself has no MAC by design).
+const EPOCH_MAC_LEN: usize = 16;
+
+/// What the persisted write-epoch record says about the last structural pass
+/// (see [`ObliviousStore::epoch_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochState {
+    /// The record is even: the last flush/dump cascade completed.
+    Clean {
+        /// The persisted epoch value.
+        epoch: u64,
+    },
+    /// The record is odd: a structural pass was interrupted mid-rewrite. The
+    /// hierarchy must be treated as scrambled and rebuilt (it is a cache —
+    /// dropping it loses no data, only read-traffic hiding warm-up).
+    InFlight {
+        /// The persisted epoch value.
+        epoch: u64,
+    },
+    /// No valid record: epoch persistence was off, no structural pass has
+    /// run yet, or the record block was destroyed.
+    Absent,
+}
 
 /// Agent-memory front buffer: the items awaiting their first flush, plus an
 /// id → position index mirroring the entry vector exactly.
@@ -74,6 +101,8 @@ pub struct ObliviousStore<D, S> {
     /// Structural-pass guard: even at rest, odd while a flush/dump cascade is
     /// rewriting levels. Bumped entering and leaving [`Self::flush_buffer`].
     write_epoch: AtomicU64,
+    /// Where the sealed epoch record lives when persistence is enabled.
+    epoch_block: Option<u64>,
 }
 
 impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
@@ -90,11 +119,13 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
         device_block_size + 32
     }
 
-    /// Number of blocks the oblivious partition must provide for `cfg`.
+    /// Number of blocks the oblivious partition must provide for `cfg`
+    /// (plus one for the epoch record when persistence is enabled).
     pub fn blocks_required(cfg: &ObliviousConfig, block_size: usize) -> u64 {
         (1..=cfg.num_levels())
             .map(|i| Level::blocks_required(cfg.level_capacity(i), block_size))
-            .sum()
+            .sum::<u64>()
+            + u64::from(cfg.persist_epoch)
     }
 
     /// Number of blocks the sort partition must provide for `cfg` (it has to
@@ -144,8 +175,10 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
             levels.push(RwLock::new(level));
             offset = next;
         }
+        let epoch_block = cfg.persist_epoch.then_some(offset);
 
         Ok(Self {
+            epoch_block,
             sorter: ExternalSorter::new(sort_device, cfg.buffer_blocks.max(2) as usize),
             device,
             codec: BlockCodec::new(block_size),
@@ -204,6 +237,84 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
     /// rewrite), but audits assert it is even at quiescence.
     pub fn write_epoch(&self) -> u64 {
         self.write_epoch.load(Ordering::Acquire)
+    }
+
+    fn epoch_key(master_key: &Key256) -> Key256 {
+        master_key.derive("oblivious:epoch")
+    }
+
+    /// Encode and authenticate an epoch record plaintext.
+    fn encode_epoch_record(master_key: &Key256, epoch: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 + EPOCH_MAC_LEN);
+        out.extend_from_slice(&EPOCH_MAGIC);
+        out.extend_from_slice(&epoch.to_le_bytes());
+        let mac_key = master_key.derive("oblivious:epoch-mac");
+        let tag = HmacSha256::mac(mac_key.as_bytes(), &out);
+        out.extend_from_slice(&tag[..EPOCH_MAC_LEN]);
+        out
+    }
+
+    /// Parse a candidate epoch record; `None` means "no valid record".
+    fn decode_epoch_record(master_key: &Key256, plain: &[u8]) -> Option<u64> {
+        if plain.len() < 16 + EPOCH_MAC_LEN || plain[..8] != EPOCH_MAGIC {
+            return None;
+        }
+        let mac_key = master_key.derive("oblivious:epoch-mac");
+        let tag = HmacSha256::mac(mac_key.as_bytes(), &plain[..16]);
+        if tag[..EPOCH_MAC_LEN] != plain[16..16 + EPOCH_MAC_LEN] {
+            return None;
+        }
+        Some(u64::from_le_bytes(plain[8..16].try_into().unwrap()))
+    }
+
+    /// Seal the current epoch value into the record block (no-op when
+    /// persistence is off).
+    fn persist_epoch_record(&self, epoch: u64) -> Result<(), ObliviousError> {
+        let Some(block) = self.epoch_block else {
+            return Ok(());
+        };
+        let plain = Self::encode_epoch_record(&self.master_key, epoch);
+        let key = Self::epoch_key(&self.master_key);
+        let sealed = {
+            let mut rng = self.rng.lock();
+            self.codec
+                .seal(&key, &plain, &mut rng)
+                .map_err(|e| ObliviousError::Corrupt(format!("epoch record seal: {e}")))?
+        };
+        self.device.write_block(block, &sealed)?;
+        Ok(())
+    }
+
+    /// Inspect the persisted write-epoch record of an oblivious partition
+    /// without constructing a store: the mount-time crash detector. An odd
+    /// epoch means a structural pass was cut mid-rewrite and the hierarchy
+    /// contents must not be trusted; the caller rebuilds the (lossless)
+    /// cache instead.
+    pub fn epoch_state(
+        device: &D,
+        cfg: &ObliviousConfig,
+        master_key: &Key256,
+    ) -> Result<EpochState, ObliviousError> {
+        if !cfg.persist_epoch {
+            return Ok(EpochState::Absent);
+        }
+        let block_size = device.block_size();
+        let block = Self::blocks_required(cfg, block_size) - 1;
+        if block >= device.num_blocks() {
+            return Ok(EpochState::Absent);
+        }
+        let mut physical = vec![0u8; block_size];
+        device.read_block(block, &mut physical)?;
+        let codec = BlockCodec::new(block_size);
+        let key = Self::epoch_key(master_key);
+        let Ok(plain) = codec.open(&key, &physical) else {
+            return Ok(EpochState::Absent);
+        };
+        Ok(match Self::decode_epoch_record(master_key, &plain) {
+            None => EpochState::Absent,
+            Some(epoch) if epoch % 2 == 0 => EpochState::Clean { epoch },
+            Some(epoch) => EpochState::InFlight { epoch },
+        })
     }
 
     /// Number of items per level, buffer first — handy for tests and the
@@ -369,9 +480,14 @@ impl<D: BlockDevice, S: BlockDevice> ObliviousStore<D, S> {
         if front.entries.is_empty() {
             return Ok(());
         }
-        self.write_epoch.fetch_add(1, Ordering::Release);
+        // Journal the pass when epoch persistence is on: the odd record
+        // lands *before* the first level write, the even one *after* the
+        // last, so a mount can classify a power cut in between.
+        let odd = self.write_epoch.fetch_add(1, Ordering::Release) + 1;
+        self.persist_epoch_record(odd)?;
         let result = self.flush_buffer_inner(front);
-        self.write_epoch.fetch_add(1, Ordering::Release);
+        let even = self.write_epoch.fetch_add(1, Ordering::Release) + 1;
+        self.persist_epoch_record(even)?;
         result
     }
 
@@ -562,6 +678,59 @@ mod tests {
         for id in 100..104u64 {
             assert_eq!(store.read(id).unwrap(), payload(id), "id {id}");
         }
+    }
+
+    #[test]
+    fn persisted_epoch_tracks_structural_passes() {
+        let master = Key256::from_passphrase("epoch master");
+        let cfg = ObliviousConfig::new(4, 32).with_persisted_epoch();
+        let blocks = ObliviousStore::<MemDevice, MemDevice>::blocks_required(&cfg, BLOCK);
+        let device = MemDevice::new(blocks, BLOCK);
+        let sort_blocks = ObliviousStore::<MemDevice, MemDevice>::sort_blocks_required(&cfg);
+        let sort_device = MemDevice::new(sort_blocks + 8, BLOCK + 32);
+
+        // Before any structural pass: no record.
+        assert_eq!(
+            ObliviousStore::<MemDevice, MemDevice>::epoch_state(&device, &cfg, &master).unwrap(),
+            EpochState::Absent
+        );
+
+        let store = ObliviousStore::new(device, sort_device, cfg, master, 77, None).unwrap();
+        for id in 0..8u64 {
+            store.insert(id, payload(id)).unwrap();
+        }
+        let epoch = store.write_epoch();
+        assert!(epoch >= 2 && epoch % 2 == 0);
+        let device = store.device;
+        assert_eq!(
+            ObliviousStore::<MemDevice, MemDevice>::epoch_state(&device, &cfg, &master).unwrap(),
+            EpochState::Clean { epoch }
+        );
+
+        // Forge the crashed-pass state: reseal the record with an odd value.
+        let block = blocks - 1;
+        let plain = ObliviousStore::<MemDevice, MemDevice>::encode_epoch_record(&master, epoch + 1);
+        let key = ObliviousStore::<MemDevice, MemDevice>::epoch_key(&master);
+        let mut rng = HashDrbg::from_u64(5);
+        let sealed = BlockCodec::new(BLOCK).seal(&key, &plain, &mut rng).unwrap();
+        device.write_block(block, &sealed).unwrap();
+        assert_eq!(
+            ObliviousStore::<MemDevice, MemDevice>::epoch_state(&device, &cfg, &master).unwrap(),
+            EpochState::InFlight { epoch: epoch + 1 }
+        );
+
+        // A destroyed record degrades to Absent, never to a wrong verdict.
+        device.write_block(block, &vec![0u8; BLOCK]).unwrap();
+        assert_eq!(
+            ObliviousStore::<MemDevice, MemDevice>::epoch_state(&device, &cfg, &master).unwrap(),
+            EpochState::Absent
+        );
+        // A wrong master key cannot read the record either.
+        let wrong = Key256::from_passphrase("wrong");
+        assert_eq!(
+            ObliviousStore::<MemDevice, MemDevice>::epoch_state(&device, &cfg, &wrong).unwrap(),
+            EpochState::Absent
+        );
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum ResilienceError {
         /// Bytes one block can hold.
         capacity: usize,
     },
+    /// A journal intent record outgrew a single journal slot block.
+    JournalOverflow {
+        /// Bytes the encoded record needs.
+        needed: usize,
+        /// Bytes one slot's data field can hold.
+        capacity: usize,
+    },
     /// A structurally invalid persisted structure (stripe map, FAK table).
     Corrupt(String),
     /// The named file is not registered in the store.
@@ -62,6 +69,10 @@ impl core::fmt::Display for ResilienceError {
             ResilienceError::AnchorOverflow { needed, capacity } => write!(
                 f,
                 "anchor of {needed} bytes exceeds block capacity of {capacity} bytes"
+            ),
+            ResilienceError::JournalOverflow { needed, capacity } => write!(
+                f,
+                "journal record of {needed} bytes exceeds slot capacity of {capacity} bytes"
             ),
             ResilienceError::Corrupt(msg) => write!(f, "corrupt persisted structure: {msg}"),
             ResilienceError::UnknownFile(path) => write!(f, "unknown file: {path}"),

@@ -1,0 +1,542 @@
+//! The deniable write-ahead intent journal.
+//!
+//! Every multi-block mutation of a resilient volume (file create, delta
+//! update, stripe repair) writes a sealed *intent record* into one of a small
+//! pool of journal slot blocks **before** touching any data block. The slots
+//! are ordinary payload blocks claimed through the same uniform
+//! [`stegfs_base::ClassMap::claim`] path as hidden data and sealed with the
+//! volume's block codec, so on disk a journal slot is `IV ‖ CBC bytes` —
+//! byte-indistinguishable from free space, parity, or hidden content. Their
+//! locations travel in the anchor payload, so only the master key ever finds
+//! them.
+//!
+//! The block cipher layer has no MAC (a design requirement: *every* block
+//! must decrypt to something), so a record authenticates itself from the
+//! inside: magic, then fields, then a truncated keyed HMAC over everything
+//! before it, all inside the sealed plaintext. A slot holding random fill, a
+//! torn record, or a record sealed under the wrong volume key simply fails
+//! validation and means "no intent" — which is exactly the pre-operation
+//! state, so a torn journal write degrades to "the operation never started".
+//!
+//! Commit discipline per kind:
+//!
+//! * **Create** — commit point is the anchor generation bump that publishes
+//!   the path in the FAK table. At recovery, an intent whose path is in the
+//!   table is complete; otherwise the file is undone by key derivation.
+//! * **WriteBatch** — one record covers a whole multi-block delta update: an
+//!   *ordered* list of per-block entries, each carrying pre- and post-image
+//!   integrity checks for its data block and every parity row of its stripe.
+//!   The entries are written in record order, parity rows updated after each
+//!   data block, so at any power cut at most one entry is in flight and the
+//!   parity chain state is always one of the recorded pre/post values. There
+//!   is no commit record: recovery walks the entries front to back, rolls
+//!   completed entries' stripe-map checks forward, resolves the single
+//!   in-flight entry by its plaintext digests (forward if any new image
+//!   landed, backward otherwise, via single-unknown parity solves), and
+//!   stops — entries past the frontier never started. Batching amortises the
+//!   one journal write over every block of the operation.
+//! * **Repair** — repair is idempotent, so the record is a pure redo marker:
+//!   recovery re-verifies and re-repairs the whole file.
+//!
+//! Slots are recycled in memory when an operation finishes; the on-disk
+//! record is left behind (clearing it would cost a write per operation and a
+//! distinguishable "always rewritten twice" pattern). Staleness is resolved
+//! by op-id: operations on one path are serialized by its file lock, so
+//! among valid records for the same path every record except the highest
+//! op-id is necessarily complete. [`ResilientStore::open`] scans the slots,
+//! recovers the highest record per path, then randomizes every slot.
+//!
+//! [`ResilientStore::open`]: crate::ResilientStore::open
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use stegfs_base::StegFs;
+use stegfs_blockdev::{BlockDevice, BlockId};
+use stegfs_crypto::{HmacSha256, Key256};
+
+use crate::error::ResilienceError;
+use crate::stripe::BlockCheck;
+
+const MAGIC: [u8; 8] = *b"SJINT\x01\0\0";
+const MAC_LEN: usize = 16;
+const KIND_CREATE: u8 = 1;
+const KIND_WRITE_BATCH: u8 = 2;
+const KIND_REPAIR: u8 = 3;
+
+/// Pre/post integrity checks and the location of one parity row touched by a
+/// journaled delta update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityIntent {
+    /// Physical block holding the sealed parity shard (unchanged by the op).
+    pub location: BlockId,
+    /// Checks of the parity plaintext before the update.
+    pub pre: BlockCheck,
+    /// Checks of the parity plaintext after the update.
+    pub post: BlockCheck,
+}
+
+/// One block of a journaled delta update: pre/post checks for the content
+/// block and every parity row of its stripe. For entries sharing a stripe,
+/// the parity pre/post values are *chain* states — each entry's pre is the
+/// previous same-stripe entry's post — matching the in-order parity rewrites
+/// the operation performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockWriteIntent {
+    /// File-wide index of the content block.
+    pub index: u64,
+    /// Physical location of the content block (unchanged by the op).
+    pub data_location: BlockId,
+    /// Checks of the data plaintext before the update.
+    pub data_pre: BlockCheck,
+    /// Checks of the data plaintext after the update.
+    pub data_post: BlockCheck,
+    /// One entry per parity row of the affected stripe.
+    pub parity: Vec<ParityIntent>,
+}
+
+/// What a journaled operation intends to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentBody {
+    /// Create the file at the record's path (undone if the path never
+    /// reaches the committed FAK table).
+    Create,
+    /// Delta-update the listed content blocks and their parity rows in
+    /// place, in record order. A single-block update is a one-entry batch.
+    WriteBatch {
+        /// The per-block updates, in the order they will be written.
+        entries: Vec<BlockWriteIntent>,
+    },
+    /// Re-verify and re-repair the whole file (idempotent redo marker).
+    Repair,
+}
+
+/// One sealed journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentRecord {
+    /// Monotone operation id; the highest valid record per path is the only
+    /// one that can be incomplete.
+    pub op_id: u64,
+    /// Path of the affected file.
+    pub path: String,
+    /// The intended operation.
+    pub body: IntentBody,
+}
+
+impl IntentRecord {
+    /// Serialise and authenticate: `MAGIC ‖ op_id ‖ kind ‖ path ‖ body ‖
+    /// HMAC₁₆(everything before)`.
+    fn encode(&self, mac: &HmacSha256) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.op_id.to_le_bytes());
+        match &self.body {
+            IntentBody::Create => out.push(KIND_CREATE),
+            IntentBody::WriteBatch { .. } => out.push(KIND_WRITE_BATCH),
+            IntentBody::Repair => out.push(KIND_REPAIR),
+        }
+        out.extend_from_slice(&(self.path.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.path.as_bytes());
+        if let IntentBody::WriteBatch { entries } = &self.body {
+            out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.index.to_le_bytes());
+                out.extend_from_slice(&e.data_location.to_le_bytes());
+                e.data_pre.encode_into(&mut out);
+                e.data_post.encode_into(&mut out);
+                out.push(e.parity.len() as u8);
+                for p in &e.parity {
+                    out.extend_from_slice(&p.location.to_le_bytes());
+                    p.pre.encode_into(&mut out);
+                    p.post.encode_into(&mut out);
+                }
+            }
+        }
+        let tag = mac.mac_with(&out);
+        out.extend_from_slice(&tag[..MAC_LEN]);
+        out
+    }
+
+    /// Parse and authenticate a candidate plaintext. `None` means "no valid
+    /// intent here" — random fill, a torn record, or a forged one.
+    fn decode(plain: &[u8], mac: &HmacSha256) -> Option<Self> {
+        let need = |off: usize, n: usize| -> Option<usize> {
+            (off + n + MAC_LEN <= plain.len()).then_some(off + n)
+        };
+        if plain.len() < MAGIC.len() + 8 + 1 + 2 + MAC_LEN || plain[..8] != MAGIC {
+            return None;
+        }
+        let op_id = u64::from_le_bytes(plain[8..16].try_into().unwrap());
+        let kind = plain[16];
+        let plen = u16::from_le_bytes(plain[17..19].try_into().unwrap()) as usize;
+        let mut off = need(19, plen)?;
+        let path = String::from_utf8(plain[19..off].to_vec()).ok()?;
+        let body = match kind {
+            KIND_CREATE => IntentBody::Create,
+            KIND_REPAIR => IntentBody::Repair,
+            KIND_WRITE_BATCH => {
+                let start = off;
+                off = need(off, 2)?;
+                let count =
+                    u16::from_le_bytes(plain[start..start + 2].try_into().unwrap()) as usize;
+                let mut entries = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    let start = off;
+                    off = need(off, 8 + 8 + 2 * BlockCheck::ENCODED_LEN + 1)?;
+                    let index = u64::from_le_bytes(plain[start..start + 8].try_into().unwrap());
+                    let data_location =
+                        u64::from_le_bytes(plain[start + 8..start + 16].try_into().unwrap());
+                    let data_pre = BlockCheck::decode(&plain[start + 16..]);
+                    let data_post =
+                        BlockCheck::decode(&plain[start + 16 + BlockCheck::ENCODED_LEN..]);
+                    let rows = plain[off - 1] as usize;
+                    let mut parity = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let start = off;
+                        off = need(off, 8 + 2 * BlockCheck::ENCODED_LEN)?;
+                        parity.push(ParityIntent {
+                            location: u64::from_le_bytes(
+                                plain[start..start + 8].try_into().unwrap(),
+                            ),
+                            pre: BlockCheck::decode(&plain[start + 8..]),
+                            post: BlockCheck::decode(&plain[start + 8 + BlockCheck::ENCODED_LEN..]),
+                        });
+                    }
+                    entries.push(BlockWriteIntent {
+                        index,
+                        data_location,
+                        data_pre,
+                        data_post,
+                        parity,
+                    });
+                }
+                IntentBody::WriteBatch { entries }
+            }
+            _ => return None,
+        };
+        let tag = mac.mac_with(&plain[..off]);
+        if tag[..MAC_LEN] != plain[off..off + MAC_LEN] {
+            return None;
+        }
+        Some(Self { op_id, path, body })
+    }
+}
+
+/// The slot pool and keys of a volume's intent journal. An empty slot list
+/// means journaling is disabled (the store runs exactly as before PR 8).
+pub struct IntentJournal {
+    slots: Vec<BlockId>,
+    /// Indices into `slots` currently free for new intents.
+    free: Mutex<Vec<usize>>,
+    op_counter: AtomicU64,
+    seal_key: Key256,
+    mac: HmacSha256,
+}
+
+impl IntentJournal {
+    /// Build the journal over `slots` (previously claimed payload blocks),
+    /// deriving its keys from the volume master key.
+    pub fn new(master: &Key256, slots: Vec<BlockId>) -> Self {
+        let mac_key = master.derive("resilience:journal-mac");
+        Self {
+            free: Mutex::new((0..slots.len()).rev().collect()),
+            op_counter: AtomicU64::new(1),
+            seal_key: master.derive("resilience:journal"),
+            mac: HmacSha256::new(mac_key.as_bytes()),
+            slots,
+        }
+    }
+
+    /// Whether journaling is active.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// The slot block locations, in pool order.
+    pub fn slots(&self) -> &[BlockId] {
+        &self.slots
+    }
+
+    /// How many [`BlockWriteIntent`] entries (each with `parity_rows` parity
+    /// rows) fit in one sealed record for a file at `path`. Delta updates
+    /// chunk larger batches to this size so a record never overflows its
+    /// slot. Computed from the record wire format, independent of whether
+    /// journaling is enabled.
+    pub fn batch_capacity<D: BlockDevice>(
+        &self,
+        fs: &StegFs<D>,
+        path: &str,
+        parity_rows: usize,
+    ) -> usize {
+        let fixed = MAGIC.len() + 8 + 1 + 2 + path.len() + 2 + MAC_LEN;
+        let per_entry = 8
+            + 8
+            + 2 * BlockCheck::ENCODED_LEN
+            + 1
+            + parity_rows * (8 + 2 * BlockCheck::ENCODED_LEN);
+        fs.codec().data_field_len().saturating_sub(fixed) / per_entry
+    }
+
+    /// Wait for a free slot. Operations hold a slot only for their own
+    /// duration, so with any reasonable pool size this never spins long.
+    fn acquire_slot(&self) -> usize {
+        loop {
+            if let Some(slot) = self.free.lock().pop() {
+                return slot;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Journal an intent: seal the record into a free slot *before* the
+    /// operation's first data write. Returns `None` when journaling is
+    /// disabled. The guard returns the slot to the pool when dropped; the
+    /// on-disk record stays behind as a stale (certainly-complete) entry.
+    pub fn begin<D: BlockDevice>(
+        &self,
+        fs: &StegFs<D>,
+        path: &str,
+        body: IntentBody,
+    ) -> Result<Option<IntentGuard<'_>>, ResilienceError> {
+        if !self.is_enabled() {
+            return Ok(None);
+        }
+        let record = IntentRecord {
+            op_id: self.op_counter.fetch_add(1, Ordering::Relaxed),
+            path: path.to_string(),
+            body,
+        };
+        let plain = record.encode(&self.mac);
+        let capacity = fs.codec().data_field_len();
+        if plain.len() > capacity {
+            return Err(ResilienceError::JournalOverflow {
+                needed: plain.len(),
+                capacity,
+            });
+        }
+        let slot = self.acquire_slot();
+        let io = fs.with_rng(|rng| {
+            fs.codec()
+                .write_sealed(fs.device(), self.slots[slot], &self.seal_key, &plain, rng)
+        });
+        if let Err(e) = io {
+            self.free.lock().push(slot);
+            return Err(e.into());
+        }
+        Ok(Some(IntentGuard {
+            journal: self,
+            slot,
+        }))
+    }
+
+    /// Read every slot and return the valid records found, in slot order.
+    /// Also advances the op counter past the highest id seen, so recovery-
+    /// time operations never reuse a live id.
+    pub fn scan<D: BlockDevice>(
+        &self,
+        fs: &StegFs<D>,
+    ) -> Result<Vec<IntentRecord>, ResilienceError> {
+        let mut out = Vec::new();
+        for &slot in &self.slots {
+            let plain = fs.codec().read_sealed(fs.device(), slot, &self.seal_key)?;
+            if let Some(record) = IntentRecord::decode(&plain, &self.mac) {
+                self.op_counter
+                    .fetch_max(record.op_id + 1, Ordering::Relaxed);
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Randomize every slot — the post-recovery "journal is empty" state,
+    /// indistinguishable from the slots never having been written.
+    pub fn clear_all<D: BlockDevice>(&self, fs: &StegFs<D>) -> Result<(), ResilienceError> {
+        for &slot in &self.slots {
+            fs.randomize_block(slot)?;
+        }
+        Ok(())
+    }
+}
+
+/// RAII handle for a journaled operation's slot; dropping it (after the
+/// operation's writes are issued) recycles the slot.
+pub struct IntentGuard<'a> {
+    journal: &'a IntentJournal,
+    slot: usize,
+}
+
+impl Drop for IntentGuard<'_> {
+    fn drop(&mut self) {
+        self.journal.free.lock().push(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> HmacSha256 {
+        HmacSha256::new(Key256::from_passphrase("journal test").as_bytes())
+    }
+
+    fn sample_entry(salt: u8) -> BlockWriteIntent {
+        BlockWriteIntent {
+            index: 7 + salt as u64,
+            data_location: 311 + salt as u64,
+            data_pre: BlockCheck {
+                fast: 1,
+                mac: [0x11 ^ salt; 16],
+            },
+            data_post: BlockCheck {
+                fast: 2,
+                mac: [0x22 ^ salt; 16],
+            },
+            parity: vec![
+                ParityIntent {
+                    location: 95,
+                    pre: BlockCheck {
+                        fast: 3,
+                        mac: [0x33 ^ salt; 16],
+                    },
+                    post: BlockCheck {
+                        fast: 4,
+                        mac: [0x44 ^ salt; 16],
+                    },
+                },
+                ParityIntent {
+                    location: 401,
+                    pre: BlockCheck {
+                        fast: 5,
+                        mac: [0x55 ^ salt; 16],
+                    },
+                    post: BlockCheck {
+                        fast: 6,
+                        mac: [0x66 ^ salt; 16],
+                    },
+                },
+            ],
+        }
+    }
+
+    fn sample_write_record() -> IntentRecord {
+        IntentRecord {
+            op_id: 42,
+            path: "/db/main".to_string(),
+            body: IntentBody::WriteBatch {
+                entries: vec![sample_entry(0), sample_entry(1)],
+            },
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_all_kinds() {
+        let mac = mac();
+        for record in [
+            IntentRecord {
+                op_id: 1,
+                path: "/a".into(),
+                body: IntentBody::Create,
+            },
+            IntentRecord {
+                op_id: 2,
+                path: "/b".into(),
+                body: IntentBody::Repair,
+            },
+            sample_write_record(),
+        ] {
+            let plain = record.encode(&mac);
+            assert_eq!(IntentRecord::decode(&plain, &mac), Some(record));
+        }
+    }
+
+    #[test]
+    fn records_fit_one_small_block() {
+        // A single-entry batch of an (8, 4) stripe shape with a long path
+        // must still fit the 496-byte data field of a 512-byte block.
+        let mut record = sample_write_record();
+        record.path = "/quite/long/path/to/a/database/file.db".to_string();
+        if let IntentBody::WriteBatch { entries } = &mut record.body {
+            entries.truncate(1);
+            for _ in 0..2 {
+                let p = entries[0].parity[0].clone();
+                entries[0].parity.push(p);
+            }
+        }
+        assert!(record.encode(&mac()).len() <= 512 - 16);
+    }
+
+    #[test]
+    fn batch_capacity_matches_wire_format() {
+        // A record holding exactly `batch_capacity` entries must encode to at
+        // most the data field, and one more entry must overflow it. The
+        // capacity formula is pure arithmetic, so check it against a real
+        // encode for a couple of parity widths.
+        for (field, rows) in [(496usize, 2usize), (4064, 2), (4064, 4)] {
+            let path = "/db/main";
+            let fixed = MAGIC.len() + 8 + 1 + 2 + path.len() + 2 + MAC_LEN;
+            let per =
+                8 + 8 + 2 * BlockCheck::ENCODED_LEN + 1 + rows * (8 + 2 * BlockCheck::ENCODED_LEN);
+            let cap = (field - fixed) / per;
+            let entry = || {
+                let mut e = sample_entry(0);
+                e.parity.resize(
+                    rows,
+                    ParityIntent {
+                        location: 9,
+                        pre: e.data_pre,
+                        post: e.data_post,
+                    },
+                );
+                e
+            };
+            let record = |n: usize| IntentRecord {
+                op_id: 1,
+                path: path.to_string(),
+                body: IntentBody::WriteBatch {
+                    entries: (0..n).map(|_| entry()).collect(),
+                },
+            };
+            assert!(record(cap).encode(&mac()).len() <= field, "cap fits");
+            assert!(record(cap + 1).encode(&mac()).len() > field, "cap is tight");
+        }
+    }
+
+    #[test]
+    fn random_fill_is_not_a_record() {
+        let mac = mac();
+        let mut drbg = stegfs_crypto::HashDrbg::from_u64(3);
+        for _ in 0..64 {
+            let junk = drbg.bytes(496);
+            assert_eq!(IntentRecord::decode(&junk, &mac), None);
+        }
+        assert_eq!(IntentRecord::decode(&[], &mac), None);
+    }
+
+    #[test]
+    fn any_truncation_or_flip_invalidates() {
+        let mac = mac();
+        let record = sample_write_record();
+        let plain = record.encode(&mac);
+        for cut in 0..plain.len() {
+            assert_eq!(IntentRecord::decode(&plain[..cut], &mac), None, "cut {cut}");
+        }
+        let mut flipped = plain.clone();
+        flipped[20] ^= 1;
+        assert_eq!(IntentRecord::decode(&flipped, &mac), None);
+        // And a record under a different journal key does not validate.
+        let other = HmacSha256::new(Key256::from_passphrase("other").as_bytes());
+        assert_eq!(IntentRecord::decode(&plain, &other), None);
+    }
+
+    #[test]
+    fn padded_tail_is_tolerated() {
+        // Sealed plaintexts come back zero-padded to the data field length;
+        // the record must still parse (trailing zeros beyond the MAC).
+        let mac = mac();
+        let record = sample_write_record();
+        let mut plain = record.encode(&mac);
+        plain.resize(496, 0);
+        assert_eq!(IntentRecord::decode(&plain, &mac), Some(record));
+    }
+}

@@ -27,10 +27,16 @@
 //! * [`VolumeAnchor`] — the 3-way replicated, generation-counted,
 //!   slot-MAC'd superblock + sealed FAK table; quorum reads self-heal stale
 //!   or corrupt replicas.
+//! * [`IntentJournal`] — a deniable write-ahead intent log: sealed,
+//!   self-authenticating records in uniformly claimed slot blocks, written
+//!   before every multi-block mutation so a power cut leaves the volume
+//!   recoverable to exactly the old or the new state — never a partial one.
 //! * [`ResilientStore`] — ties it together: striped files, a verify-always
 //!   read path that falls back to reconstruction, a delta-parity update
-//!   path, and [`ResilientStore::scrub`] — a ranged-batch MAC sweep that
-//!   repairs every degraded stripe onto freshly claimed blocks.
+//!   path, journaled mutations with open-time crash recovery, and
+//!   [`ResilientStore::scrub`] — a ranged-batch MAC sweep that repairs every
+//!   degraded stripe onto freshly claimed blocks and can also ride the cover
+//!   traffic via [`ScrubCursor`].
 //!
 //! The failure model it is tested against lives in `stegfs-blockdev`'s
 //! `FaultDevice`: deterministic seeded bit flips, zeroed blocks and torn
@@ -42,6 +48,7 @@
 mod codec;
 mod error;
 pub mod gf256;
+mod journal;
 mod stats;
 mod store;
 mod stripe;
@@ -49,7 +56,8 @@ mod superblock;
 
 pub use codec::ErasureCodec;
 pub use error::ResilienceError;
-pub use stats::{ResilienceStats, ScrubReport, SharedResilienceStats};
-pub use store::{ResilienceConfig, ResilientStore};
+pub use journal::{BlockWriteIntent, IntentBody, IntentJournal, IntentRecord, ParityIntent};
+pub use stats::{RecoveryReport, ResilienceStats, ScrubReport, SharedResilienceStats};
+pub use store::{ResilienceConfig, ResilientStore, ScrubCursor};
 pub use stripe::{BlockCheck, ChecksumKeys, ParityEntry, StripeConfig, StripeMap};
 pub use superblock::VolumeAnchor;

@@ -36,6 +36,37 @@ impl ScrubReport {
     }
 }
 
+/// The result of the journal-recovery pass run by
+/// [`crate::ResilientStore::open`] before the volume is handed out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid intent records found in the journal slots.
+    pub intents_found: u64,
+    /// Intents skipped as certainly complete (superseded by a higher op id
+    /// on the same path, or already committed).
+    pub intents_stale: u64,
+    /// Interrupted updates completed forward (some new image had landed).
+    pub rolled_forward: u64,
+    /// Interrupted updates undone (no new image had landed) and interrupted
+    /// creates removed.
+    pub rolled_back: u64,
+    /// Intents whose stripe was beyond parity tolerance; affected reads will
+    /// report the damage.
+    pub unrecoverable: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the journal was empty — a clean shutdown.
+    pub fn is_clean(&self) -> bool {
+        self.intents_found == 0
+    }
+
+    /// Intents that required recovery action.
+    pub fn recovered(&self) -> u64 {
+        self.rolled_forward + self.rolled_back
+    }
+}
+
 /// Point-in-time snapshot of a store's cumulative resilience counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResilienceStats {
@@ -55,6 +86,10 @@ pub struct ResilienceStats {
     pub anchor_repairs: u64,
     /// Completed scrub sweeps.
     pub scrubs: u64,
+    /// Intent records journaled ahead of multi-block mutations.
+    pub intents_journaled: u64,
+    /// Intents rolled forward or back by open-time recovery.
+    pub intents_recovered: u64,
 }
 
 /// Interior-mutable mirror of [`ResilienceStats`]: every counter is a relaxed
@@ -74,6 +109,8 @@ pub struct SharedResilienceStats {
     unrecoverable_stripes: AtomicU64,
     anchor_repairs: AtomicU64,
     scrubs: AtomicU64,
+    intents_journaled: AtomicU64,
+    intents_recovered: AtomicU64,
 }
 
 impl SharedResilienceStats {
@@ -117,6 +154,16 @@ impl SharedResilienceStats {
         self.scrubs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One intent record journaled ahead of a mutation.
+    pub fn count_intent_journaled(&self) {
+        self.intents_journaled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` intents rolled forward or back by open-time recovery.
+    pub fn add_intents_recovered(&self, n: u64) {
+        self.intents_recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Materialise a plain snapshot of all counters.
     pub fn snapshot(&self) -> ResilienceStats {
         ResilienceStats {
@@ -128,6 +175,8 @@ impl SharedResilienceStats {
             unrecoverable_stripes: self.unrecoverable_stripes.load(Ordering::Relaxed),
             anchor_repairs: self.anchor_repairs.load(Ordering::Relaxed),
             scrubs: self.scrubs.load(Ordering::Relaxed),
+            intents_journaled: self.intents_journaled.load(Ordering::Relaxed),
+            intents_recovered: self.intents_recovered.load(Ordering::Relaxed),
         }
     }
 }
@@ -148,6 +197,8 @@ mod tests {
         stats.add_unrecoverable_stripes(1);
         stats.add_anchor_repairs(1);
         stats.count_scrub();
+        stats.count_intent_journaled();
+        stats.add_intents_recovered(2);
         let snap = stats.snapshot();
         assert_eq!(snap.reads_verified, 2);
         assert_eq!(snap.read_check_failures, 1);
@@ -157,6 +208,8 @@ mod tests {
         assert_eq!(snap.unrecoverable_stripes, 1);
         assert_eq!(snap.anchor_repairs, 1);
         assert_eq!(snap.scrubs, 1);
+        assert_eq!(snap.intents_journaled, 1);
+        assert_eq!(snap.intents_recovered, 2);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! metadata tree is future work.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -39,12 +40,13 @@ use stegfs_base::{
     BlockClass, FileAccessKey, OpenFile, ShardedBlockMap, StegFs, StegFsConfig, DEFAULT_MAP_SHARDS,
 };
 use stegfs_blockdev::{BlockDevice, BlockId};
-use stegfs_crypto::{Aes256, CbcCipher, Key256};
+use stegfs_crypto::{Aes256, CbcCipher, HashDrbg, Key256};
 
 use crate::codec::ErasureCodec;
 use crate::error::ResilienceError;
-use crate::stats::{ResilienceStats, ScrubReport, SharedResilienceStats};
-use crate::stripe::{ChecksumKeys, ParityEntry, StripeConfig, StripeMap};
+use crate::journal::{BlockWriteIntent, IntentBody, IntentJournal, IntentRecord, ParityIntent};
+use crate::stats::{RecoveryReport, ResilienceStats, ScrubReport, SharedResilienceStats};
+use crate::stripe::{BlockCheck, ChecksumKeys, ParityEntry, StripeConfig, StripeMap};
 use crate::superblock::VolumeAnchor;
 
 /// Configuration of a resilient volume.
@@ -56,6 +58,10 @@ pub struct ResilienceConfig {
     pub fs: StegFsConfig,
     /// Maximum blocks per ranged read in a scrub sweep.
     pub scrub_batch: usize,
+    /// Intent-journal slot blocks claimed at format time. `0` disables
+    /// journaling entirely (the pre-journal update path, kept as the bench
+    /// baseline); each slot admits one in-flight multi-block mutation.
+    pub journal_slots: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -64,6 +70,7 @@ impl Default for ResilienceConfig {
             stripe: StripeConfig::new(4, 2),
             fs: StegFsConfig::default(),
             scrub_batch: 64,
+            journal_slots: 4,
         }
     }
 }
@@ -78,6 +85,12 @@ impl ResilienceConfig {
     /// Override the file-system configuration.
     pub fn with_fs(mut self, fs: StegFsConfig) -> Self {
         self.fs = fs;
+        self
+    }
+
+    /// Override the intent-journal slot count (`0` disables journaling).
+    pub fn with_journal_slots(mut self, slots: usize) -> Self {
+        self.journal_slots = slots;
         self
     }
 }
@@ -125,7 +138,35 @@ pub struct ResilientStore<D> {
     /// Managed files by path. `BTreeMap` so that every sweep and every
     /// persisted table is in deterministic path order.
     files: RwLock<BTreeMap<String, Arc<RwLock<FileState>>>>,
+    journal: IntentJournal,
+    /// Outcome of the journal-recovery pass run by [`ResilientStore::open`].
+    recovery: Mutex<RecoveryReport>,
     stats: Arc<SharedResilienceStats>,
+}
+
+/// Outcome of recovering one intent record.
+enum Recovered {
+    /// The operation was completed forward (its new state made durable).
+    Forward,
+    /// The operation was undone (the old state restored).
+    Back,
+    /// The record was certainly complete; nothing to do.
+    Stale,
+    /// The affected stripe was beyond parity tolerance.
+    Lost,
+}
+
+/// Outcome of resolving one stripe's group of `WriteBatch` entries.
+enum GroupResolution {
+    /// The first `complete` entries of the group hold (or were brought to)
+    /// their post state; the rest are back in their pre state. `touched`
+    /// reports whether any device or stripe-map state changed.
+    Advanced { complete: usize, touched: bool },
+    /// The group does not describe the file's current geometry — a later
+    /// serialised (therefore complete) operation superseded the record.
+    Stale,
+    /// More shards out of state than parity can solve.
+    Lost,
 }
 
 impl<D: BlockDevice> ResilientStore<D> {
@@ -141,15 +182,20 @@ impl<D: BlockDevice> ResilientStore<D> {
         for b in VolumeAnchor::replica_blocks(fs.superblock().num_blocks) {
             map.set(b, BlockClass::Reserved);
         }
-        let store = Self::assemble(fs, map, cfg, master, 0);
+        // Claim the journal slots through the same uniform allocation as
+        // hidden data; the format-time random fill is a valid empty journal.
+        let mut mref = &map;
+        let slots = fs.allocate_blocks(&mut mref, cfg.journal_slots as u64)?;
+        let store = Self::assemble(fs, map, cfg, master, 0, slots);
         store.persist_anchor()?;
         Ok(store)
     }
 
     /// Open an existing resilient volume: quorum-read the anchor (repairing
-    /// stale or corrupt replicas in place), mount the file system, and reopen
+    /// stale or corrupt replicas in place), mount the file system, reopen
     /// every file listed in the sealed FAK table together with its shadow
-    /// stripe map.
+    /// stripe map, then run journal recovery — rolling every interrupted
+    /// mutation forward or back — before the volume is handed out.
     pub fn open(
         device: D,
         cfg: ResilienceConfig,
@@ -163,10 +209,16 @@ impl<D: BlockDevice> ResilientStore<D> {
         for b in VolumeAnchor::replica_blocks(fs.superblock().num_blocks) {
             map.set(b, BlockClass::Reserved);
         }
-        let store = Self::assemble(fs, map, cfg, master, anchor.generation);
+        let payload_key = master.derive("resilience:payload");
+        let plain = Self::open_payload_with(&payload_key, &anchor.payload)?;
+        let (slots, table) = Self::parse_payload(&plain)?;
+        for &slot in &slots {
+            map.set(slot, BlockClass::Data);
+        }
+        let store = Self::assemble(fs, map, cfg, master, anchor.generation, slots);
         store.stats.add_anchor_repairs(repaired.len() as u64);
 
-        for (path, fak) in store.decode_table(&anchor.payload)? {
+        for (path, fak) in table {
             let open = store.fs.open_file(&fak, &path)?;
             let shadow_fak = store.shadow_fak(&path);
             let shadow = store.fs.open_file(&shadow_fak, &Self::shadow_path(&path))?;
@@ -194,6 +246,8 @@ impl<D: BlockDevice> ResilientStore<D> {
                 })),
             );
         }
+        let report = store.recover_journal()?;
+        *store.recovery.lock() = report;
         Ok(store)
     }
 
@@ -203,6 +257,7 @@ impl<D: BlockDevice> ResilientStore<D> {
         cfg: ResilienceConfig,
         master: &Key256,
         generation: u64,
+        journal_slots: Vec<BlockId>,
     ) -> Self {
         Self {
             codec: ErasureCodec::new(cfg.stripe.k, cfg.stripe.m),
@@ -213,6 +268,8 @@ impl<D: BlockDevice> ResilientStore<D> {
             payload_key: master.derive("resilience:payload"),
             generation: Mutex::new(generation),
             files: RwLock::new(BTreeMap::new()),
+            journal: IntentJournal::new(master, journal_slots),
+            recovery: Mutex::new(RecoveryReport::default()),
             stats: Arc::new(SharedResilienceStats::default()),
             fs,
             map,
@@ -242,6 +299,23 @@ impl<D: BlockDevice> ResilientStore<D> {
     /// Snapshot of the resilience counters.
     pub fn stats(&self) -> ResilienceStats {
         self.stats.snapshot()
+    }
+
+    /// The anchor generation the volume currently carries. Bumped on every
+    /// FAK-table change; the bump is the atomic commit point of file creation.
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    /// The intent-journal slot locations (empty when journaling is disabled).
+    pub fn journal_slots(&self) -> Vec<BlockId> {
+        self.journal.slots().to_vec()
+    }
+
+    /// What the journal-recovery pass of [`ResilientStore::open`] did. A
+    /// freshly formatted store reports a clean (empty) recovery.
+    pub fn last_recovery(&self) -> RecoveryReport {
+        self.recovery.lock().clone()
     }
 
     /// Paths of every managed file, in order.
@@ -303,11 +377,17 @@ impl<D: BlockDevice> ResilientStore<D> {
 
     // ----- anchor / FAK table ------------------------------------------
 
-    /// Serialise the FAK table: `count` then `(path_len, path, fak)` entries
-    /// in path order.
-    fn encode_table(&self) -> Vec<u8> {
+    /// Serialise the anchor payload plaintext: the journal slot locations,
+    /// then the FAK table as `count` and `(path_len, path, fak)` entries in
+    /// path order.
+    fn encode_payload_plain(&self) -> Vec<u8> {
         let files = self.files.read();
         let mut out = Vec::new();
+        let slots = self.journal.slots();
+        out.extend_from_slice(&(slots.len() as u16).to_le_bytes());
+        for &slot in slots {
+            out.extend_from_slice(&slot.to_le_bytes());
+        }
         out.extend_from_slice(&(files.len() as u32).to_le_bytes());
         for (path, state) in files.iter() {
             out.extend_from_slice(&(path.len() as u16).to_le_bytes());
@@ -317,17 +397,31 @@ impl<D: BlockDevice> ResilientStore<D> {
         out
     }
 
-    fn decode_table(
-        &self,
-        payload: &[u8],
-    ) -> Result<Vec<(String, FileAccessKey)>, ResilienceError> {
-        let plain = self.open_payload(payload)?;
-        let corrupt = |what: &str| ResilienceError::Corrupt(format!("FAK table: {what}"));
-        if plain.len() < 4 {
+    /// Parse the anchor payload plaintext: journal slot locations, then the
+    /// FAK table.
+    #[allow(clippy::type_complexity)]
+    fn parse_payload(
+        plain: &[u8],
+    ) -> Result<(Vec<BlockId>, Vec<(String, FileAccessKey)>), ResilienceError> {
+        let corrupt = |what: &str| ResilienceError::Corrupt(format!("anchor payload: {what}"));
+        if plain.len() < 2 {
+            return Err(corrupt("truncated slot count"));
+        }
+        let num_slots = u16::from_le_bytes(plain[..2].try_into().unwrap()) as usize;
+        let mut off = 2;
+        if off + num_slots * 8 > plain.len() {
+            return Err(corrupt("truncated slot list"));
+        }
+        let mut slots = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            slots.push(u64::from_le_bytes(plain[off..off + 8].try_into().unwrap()));
+            off += 8;
+        }
+        if off + 4 > plain.len() {
             return Err(corrupt("truncated count"));
         }
-        let count = u32::from_le_bytes(plain[..4].try_into().unwrap()) as usize;
-        let mut off = 4;
+        let count = u32::from_le_bytes(plain[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             if off + 2 > plain.len() {
@@ -346,7 +440,7 @@ impl<D: BlockDevice> ResilientStore<D> {
             off += FileAccessKey::ENCODED_LEN;
             out.push((path, fak));
         }
-        Ok(out)
+        Ok((slots, out))
     }
 
     /// Seal the table under the payload key: `IV ‖ plain_len ‖ CBC(padded)`.
@@ -367,7 +461,7 @@ impl<D: BlockDevice> ResilientStore<D> {
         out
     }
 
-    fn open_payload(&self, sealed: &[u8]) -> Result<Vec<u8>, ResilienceError> {
+    fn open_payload_with(key: &Key256, sealed: &[u8]) -> Result<Vec<u8>, ResilienceError> {
         if sealed.len() < 20 || (sealed.len() - 20) % 16 != 0 {
             return Err(ResilienceError::Corrupt(
                 "anchor payload framing".to_string(),
@@ -381,7 +475,7 @@ impl<D: BlockDevice> ResilientStore<D> {
                 "anchor payload length".to_string(),
             ));
         }
-        let cbc = CbcCipher::new(Aes256::new(self.payload_key.as_bytes()));
+        let cbc = CbcCipher::new(Aes256::new(key.as_bytes()));
         cbc.decrypt_in_place(&iv, &mut data)
             .map_err(|e| ResilienceError::Corrupt(format!("anchor payload cipher: {e:?}")))?;
         data.truncate(plain_len);
@@ -391,7 +485,7 @@ impl<D: BlockDevice> ResilientStore<D> {
     /// Re-write every anchor replica with the current FAK table under a
     /// bumped generation.
     fn persist_anchor(&self) -> Result<(), ResilienceError> {
-        let payload = self.seal_payload(&self.encode_table());
+        let payload = self.seal_payload(&self.encode_payload_plain());
         let capacity = VolumeAnchor::payload_capacity(self.fs.codec().block_size());
         if payload.len() > capacity {
             return Err(ResilienceError::AnchorOverflow {
@@ -414,11 +508,21 @@ impl<D: BlockDevice> ResilientStore<D> {
 
     /// Create a hidden file at `path` with parity per the store's striping
     /// shape, and persist it in the anchor's FAK table.
+    ///
+    /// The operation is journaled: a `Create` intent lands before the first
+    /// data write, and the anchor generation bump that publishes the path is
+    /// the commit point. A crash anywhere in between is rolled back at the
+    /// next open by randomising the (derivable) header first — the file never
+    /// half-exists.
     pub fn create_file(&self, path: &str, content: &[u8]) -> Result<(), ResilienceError> {
         if self.files.read().contains_key(path) {
             return Err(ResilienceError::Corrupt(format!(
                 "file {path} already exists"
             )));
+        }
+        let intent = self.journal.begin(&self.fs, path, IntentBody::Create)?;
+        if intent.is_some() {
+            self.stats.count_intent_journaled();
         }
         let fak = self.file_fak(path);
         let mut mref = &self.map;
@@ -547,7 +651,7 @@ impl<D: BlockDevice> ResilientStore<D> {
                 bad.iter().map(|&i| self.stripe_cfg.stripe_of(i)).collect();
             let mut lost = Vec::new();
             for stripe in stripes {
-                let repair = self.repair_stripe(&mut g, stripe)?;
+                let repair = self.repair_stripe(&mut g, stripe, true)?;
                 if repair.unrecoverable {
                     lost.push(stripe);
                 }
@@ -579,7 +683,24 @@ impl<D: BlockDevice> ResilientStore<D> {
     /// Overwrite one content block, folding the plaintext delta into every
     /// parity shard of the stripe (`p' = p ⊕ C[i][j]·(old ⊕ new)`) instead of
     /// re-encoding the whole stripe.
+    ///
+    /// Journaled: a `WriteBatch` intent carrying the pre- and post-image
+    /// checks of the data block and every parity row lands before the first
+    /// device write, so a power cut leaves the stripe recoverable to exactly
+    /// the old or the new content — never a mix.
     pub fn write_block(&self, path: &str, index: u64, data: &[u8]) -> Result<(), ResilienceError> {
+        let state = self.file_state(path)?;
+        let mut g = state.write();
+        self.write_block_locked(path, &mut g, index, data)
+    }
+
+    fn write_block_locked(
+        &self,
+        path: &str,
+        g: &mut FileState,
+        index: u64,
+        data: &[u8],
+    ) -> Result<(), ResilienceError> {
         let per = self.fs.content_bytes_per_block();
         if data.len() > per {
             return Err(ResilienceError::Fs(stegfs_base::FsError::Cipher(format!(
@@ -587,16 +708,26 @@ impl<D: BlockDevice> ResilientStore<D> {
                 data.len()
             ))));
         }
-        let state = self.file_state(path)?;
-        let mut g = state.write();
-        let keys = self.checksum_keys(&g.open)?;
-        let content_key = *g.open.fak.content_key().expect("checked above");
-        let stripe = self.stripe_cfg.stripe_of(index);
+        let old = self.healed_read(path, g, index)?;
+        let mut new_field = vec![0u8; per];
+        new_field[..data.len()].copy_from_slice(data);
+        self.write_batch_locked(path, g, vec![(index, old, new_field)])
+    }
 
+    /// Read one content block's plaintext for a delta update, healing its
+    /// stripe first when the fast check says the stored bytes are stale or
+    /// torn (a delta against corrupt bytes would poison every parity row).
+    fn healed_read(
+        &self,
+        path: &str,
+        g: &mut FileState,
+        index: u64,
+    ) -> Result<Vec<u8>, ResilienceError> {
+        let keys = self.checksum_keys(&g.open)?;
         let mut old = self.fs.read_content_block(&g.open, index)?;
         if keys.fast(&old) != g.stripes.data_check(index).fast {
-            // Heal the stripe before computing a delta against stale bytes.
-            let repair = self.repair_stripe(&mut g, stripe)?;
+            let stripe = self.stripe_cfg.stripe_of(index);
+            let repair = self.repair_stripe(g, stripe, true)?;
             if repair.unrecoverable {
                 return Err(ResilienceError::Unrecoverable {
                     path: path.to_string(),
@@ -605,38 +736,201 @@ impl<D: BlockDevice> ResilientStore<D> {
             }
             old = self.fs.read_content_block(&g.open, index)?;
         }
-        let mut new_field = vec![0u8; per];
-        new_field[..data.len()].copy_from_slice(data);
-        let delta: Vec<u8> = old.iter().zip(&new_field).map(|(a, b)| a ^ b).collect();
+        Ok(old)
+    }
 
-        let slot = (index - stripe * self.stripe_cfg.k as u64) as usize;
-        let mut parities = Vec::with_capacity(self.stripe_cfg.m);
-        for row in 0..self.stripe_cfg.m {
-            let entry = *g.stripes.parity_entry(stripe, row);
-            parities.push(self.fs.codec().read_sealed(
-                self.fs.device(),
-                entry.location,
-                &content_key,
-            )?);
+    /// Apply an ordered list of `(index, old_field, new_field)` delta
+    /// updates. Batches larger than one record chunk to the journal's
+    /// capacity; within a chunk one sealed intent carries the whole pre/post
+    /// chain, the per-entry data and parity writes follow record order, and
+    /// the stripe-map shadow lands once at the end — so the journal and
+    /// shadow costs amortise over every block of the chunk.
+    fn write_batch_locked(
+        &self,
+        path: &str,
+        g: &mut FileState,
+        changes: Vec<(u64, Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), ResilienceError> {
+        if changes.is_empty() {
+            return Ok(());
         }
-        self.codec.apply_delta(slot, &delta, &mut parities);
+        let keys = self.checksum_keys(&g.open)?;
+        let content_key = *g.open.fak.content_key().expect("checked above");
+        let (k, m) = (self.stripe_cfg.k, self.stripe_cfg.m);
+        let cap = self.journal.batch_capacity(&self.fs, path, m).max(1);
+        for chunk in changes.chunks(cap) {
+            // Plan the chunk: read each affected stripe's parity once, fold
+            // every delta in entry order, and snapshot the chain state after
+            // each entry — those snapshots are exactly the parity images the
+            // writes below produce and the checks the intent records.
+            let mut parity_now: BTreeMap<u64, Vec<Vec<u8>>> = BTreeMap::new();
+            let mut entries: Vec<BlockWriteIntent> = Vec::with_capacity(chunk.len());
+            let mut planned_parity: Vec<Vec<Vec<u8>>> = Vec::with_capacity(chunk.len());
+            for (index, old, new_field) in chunk {
+                let stripe = self.stripe_cfg.stripe_of(*index);
+                let parities = match parity_now.entry(stripe) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        let mut rows = Vec::with_capacity(m);
+                        for row in 0..m {
+                            let entry = *g.stripes.parity_entry(stripe, row);
+                            rows.push(self.fs.codec().read_sealed(
+                                self.fs.device(),
+                                entry.location,
+                                &content_key,
+                            )?);
+                        }
+                        e.insert(rows)
+                    }
+                };
+                let pre_parity: Vec<BlockCheck> = parities.iter().map(|p| keys.check(p)).collect();
+                let delta: Vec<u8> = old.iter().zip(new_field).map(|(a, b)| a ^ b).collect();
+                let slot = (*index - stripe * k as u64) as usize;
+                self.codec.apply_delta(slot, &delta, parities);
+                entries.push(BlockWriteIntent {
+                    index: *index,
+                    data_location: g.open.header.blocks[*index as usize],
+                    data_pre: keys.check(old),
+                    data_post: keys.check(new_field),
+                    parity: (0..m)
+                        .map(|row| ParityIntent {
+                            location: g.stripes.parity_entry(stripe, row).location,
+                            pre: pre_parity[row],
+                            post: keys.check(&parities[row]),
+                        })
+                        .collect(),
+                });
+                planned_parity.push(parities.clone());
+            }
 
-        self.fs
-            .write_content_block(&mut g.open, index, &new_field)?;
-        g.stripes.set_data_check(index, keys.check(&new_field));
-        for (row, shard) in parities.iter().enumerate() {
-            let mut entry = *g.stripes.parity_entry(stripe, row);
-            self.fs.with_rng(|rng| {
-                self.fs.codec().write_sealed(
-                    self.fs.device(),
-                    entry.location,
-                    &content_key,
-                    shard,
-                    rng,
-                )
-            })?;
-            entry.check = keys.check(shard);
-            g.stripes.set_parity_entry(stripe, row, entry);
+            // Write-ahead intent: every pre/post check the recovery pass
+            // needs to classify each affected block as old or new, sealed
+            // into one journal slot before the first data write below.
+            let intent = self.journal.begin(
+                &self.fs,
+                path,
+                IntentBody::WriteBatch {
+                    entries: entries.clone(),
+                },
+            )?;
+            if intent.is_some() {
+                self.stats.count_intent_journaled();
+            }
+
+            for ((index, _, new_field), (entry, parities)) in
+                chunk.iter().zip(entries.iter().zip(&planned_parity))
+            {
+                let stripe = self.stripe_cfg.stripe_of(*index);
+                self.fs
+                    .write_content_block(&mut g.open, *index, new_field)?;
+                g.stripes.set_data_check(*index, entry.data_post);
+                for (row, shard) in parities.iter().enumerate() {
+                    let mut pe = *g.stripes.parity_entry(stripe, row);
+                    self.fs.with_rng(|rng| {
+                        self.fs.codec().write_sealed(
+                            self.fs.device(),
+                            pe.location,
+                            &content_key,
+                            shard,
+                            rng,
+                        )
+                    })?;
+                    pe.check = entry.parity[row].post;
+                    g.stripes.set_parity_entry(stripe, row, pe);
+                }
+            }
+            self.rewrite_shadow(g)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite a whole file in place through the delta-parity path: only
+    /// blocks whose content actually changed are touched, the whole change
+    /// set journaled as one (or, past the record capacity, a few) ordered
+    /// `WriteBatch` intent(s). The new content must occupy the same number
+    /// of blocks (striped files do not resize in place).
+    pub fn write_file(&self, path: &str, content: &[u8]) -> Result<(), ResilienceError> {
+        let state = self.file_state(path)?;
+        let mut g = state.write();
+        let per = self.fs.content_bytes_per_block();
+        let num = g.open.header.num_blocks();
+        let new_blocks = (content.len().div_ceil(per) as u64).max(1);
+        if new_blocks != num {
+            return Err(ResilienceError::Corrupt(format!(
+                "rewrite of {path} needs {new_blocks} blocks but the file has {num}"
+            )));
+        }
+        let mut changes: Vec<(u64, Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..num {
+            let start = i as usize * per;
+            let end = (start + per).min(content.len());
+            let chunk = content.get(start..end).unwrap_or(&[]);
+            let mut new_field = vec![0u8; per];
+            new_field[..chunk.len()].copy_from_slice(chunk);
+            let old = self.healed_read(path, &mut g, i)?;
+            if old != new_field {
+                changes.push((i, old, new_field));
+            }
+        }
+        self.write_batch_locked(path, &mut g, changes)?;
+        if g.open.header.file_size != content.len() as u64 {
+            g.open.header.file_size = content.len() as u64;
+            self.fs.save(&mut g.open)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite a whole file by re-encoding every stripe from scratch —
+    /// re-sealing all `k` data blocks and all `m` parity rows whether or not
+    /// they changed. Kept as the measurement baseline the delta path in
+    /// [`ResilientStore::write_file`] is benchmarked against; not journaled.
+    pub fn rewrite_file_full(&self, path: &str, content: &[u8]) -> Result<(), ResilienceError> {
+        let state = self.file_state(path)?;
+        let mut g = state.write();
+        let per = self.fs.content_bytes_per_block();
+        let num = g.open.header.num_blocks();
+        let new_blocks = (content.len().div_ceil(per) as u64).max(1);
+        if new_blocks != num {
+            return Err(ResilienceError::Corrupt(format!(
+                "rewrite of {path} needs {new_blocks} blocks but the file has {num}"
+            )));
+        }
+        let keys = self.checksum_keys(&g.open)?;
+        let content_key = *g.open.fak.content_key().expect("checked above");
+        let (k, m) = (self.stripe_cfg.k, self.stripe_cfg.m);
+        for stripe in 0..g.stripes.num_stripes() {
+            let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
+            for i in g.stripes.stripe_data_range(stripe) {
+                let start = i as usize * per;
+                let end = (start + per).min(content.len());
+                let chunk = content.get(start..end).unwrap_or(&[]);
+                let mut field = vec![0u8; per];
+                field[..chunk.len()].copy_from_slice(chunk);
+                self.fs.write_content_block(&mut g.open, i, &field)?;
+                g.stripes.set_data_check(i, keys.check(&field));
+                data.push(field);
+            }
+            data.resize(k, vec![0u8; per]);
+            let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            let parity = self.codec.encode(&refs);
+            for (row, shard) in parity.iter().enumerate().take(m) {
+                let mut entry = *g.stripes.parity_entry(stripe, row);
+                self.fs.with_rng(|rng| {
+                    self.fs.codec().write_sealed(
+                        self.fs.device(),
+                        entry.location,
+                        &content_key,
+                        shard,
+                        rng,
+                    )
+                })?;
+                entry.check = keys.check(shard);
+                g.stripes.set_parity_entry(stripe, row, entry);
+            }
+        }
+        if g.open.header.file_size != content.len() as u64 {
+            g.open.header.file_size = content.len() as u64;
+            self.fs.save(&mut g.open)?;
         }
         self.rewrite_shadow(&mut g)
     }
@@ -682,10 +976,18 @@ impl<D: BlockDevice> ResilientStore<D> {
     /// rewriting repaired shards onto freshly claimed blocks (the corrupt
     /// locations are randomised and released — a torn or corrupted sector is
     /// never trusted again for this stripe).
+    ///
+    /// `journaled` writes a `Repair` redo marker before the first repair
+    /// write; recovery re-repairs the whole file, which is idempotent. The
+    /// recovery pass itself runs unjournaled — its slots may still hold
+    /// unprocessed intents a new record must not overwrite — and is safe to
+    /// re-crash because repair only ever randomises already-corrupt
+    /// locations, so it never pushes a stripe past parity tolerance.
     fn repair_stripe(
         &self,
         g: &mut FileState,
         stripe: u64,
+        journaled: bool,
     ) -> Result<StripeRepair, ResilienceError> {
         let keys = self.checksum_keys(&g.open)?;
         let content_key = *g.open.fak.content_key().expect("checked above");
@@ -742,6 +1044,16 @@ impl<D: BlockDevice> ResilientStore<D> {
             });
         }
 
+        let intent = if journaled {
+            self.journal
+                .begin(&self.fs, &g.open.path, IntentBody::Repair)?
+        } else {
+            None
+        };
+        if intent.is_some() {
+            self.stats.count_intent_journaled();
+        }
+
         let mut mref = &self.map;
         for &(slot, old_loc) in &corrupt {
             let new_loc = self.fs.allocate_blocks(&mut mref, 1)?[0];
@@ -771,6 +1083,353 @@ impl<D: BlockDevice> ResilientStore<D> {
             repaired: corrupt.len() as u64,
             detected,
             unrecoverable: false,
+        })
+    }
+
+    // ----- journal recovery --------------------------------------------
+
+    /// Scan the journal slots and roll every interrupted mutation forward or
+    /// back. Runs inside [`ResilientStore::open`] after the file table is
+    /// loaded and before the store is handed out; finishes by randomising
+    /// every slot, so a crash *during* recovery simply re-runs it (every
+    /// per-record action is idempotent).
+    fn recover_journal(&self) -> Result<RecoveryReport, ResilienceError> {
+        let mut report = RecoveryReport::default();
+        if !self.journal.is_enabled() {
+            return Ok(report);
+        }
+        let records = self.journal.scan(&self.fs)?;
+        report.intents_found = records.len() as u64;
+
+        // Operations on one path are serialised by its file lock, so among
+        // valid records for the same path every one except the highest op-id
+        // is certainly complete: keep only the latest per path.
+        let mut latest: BTreeMap<String, IntentRecord> = BTreeMap::new();
+        for record in records {
+            match latest.get(&record.path) {
+                Some(prev) if prev.op_id >= record.op_id => report.intents_stale += 1,
+                _ => {
+                    if latest.insert(record.path.clone(), record).is_some() {
+                        report.intents_stale += 1;
+                    }
+                }
+            }
+        }
+
+        for (path, record) in latest {
+            let outcome = match record.body {
+                IntentBody::Create => self.recover_create(&path)?,
+                IntentBody::WriteBatch { entries } => self.recover_write_batch(&path, &entries)?,
+                IntentBody::Repair => self.recover_repair(&path)?,
+            };
+            match outcome {
+                Recovered::Forward => report.rolled_forward += 1,
+                Recovered::Back => report.rolled_back += 1,
+                Recovered::Stale => report.intents_stale += 1,
+                Recovered::Lost => report.unrecoverable += 1,
+            }
+        }
+        self.journal.clear_all(&self.fs)?;
+        self.stats.add_intents_recovered(report.recovered());
+        Ok(report)
+    }
+
+    /// Undo an uncommitted file creation. Committed means the path reached
+    /// the anchor's FAK table; everything about an uncommitted file is
+    /// derivable from the master key, so the rollback needs no on-disk state
+    /// beyond the intent itself.
+    fn recover_create(&self, path: &str) -> Result<Recovered, ResilienceError> {
+        if self.files.read().contains_key(path) {
+            // The anchor bump landed: the create committed, record is stale.
+            return Ok(Recovered::Stale);
+        }
+        let fak = self.file_fak(path);
+        let open = match self.fs.open_file(&fak, path) {
+            Ok(open) => open,
+            // Header never landed: the create effectively never started.
+            // Any sealed blocks it did write are unreferenced and will be
+            // reclaimed as dummy space.
+            Err(_) => return Ok(Recovered::Stale),
+        };
+        // Collect everything reachable *before* destroying the header.
+        let mut hygiene: Vec<BlockId> = Vec::new();
+        hygiene.extend(open.indirect_locations.iter().copied());
+        hygiene.extend(open.header.blocks.iter().copied());
+        let shadow_fak = self.shadow_fak(path);
+        if let Ok(shadow) = self.fs.open_file(&shadow_fak, &Self::shadow_path(path)) {
+            if let Ok(encoded) = self.fs.read_file(&shadow) {
+                if let Ok(stripes) = StripeMap::decode(&encoded) {
+                    hygiene.extend(stripes.parity_locations());
+                }
+            }
+            hygiene.push(shadow.header_location);
+            hygiene.extend(shadow.indirect_locations.iter().copied());
+            hygiene.extend(shadow.header.blocks.iter().copied());
+        }
+        // Randomising the header is the undo of the commit point: it is the
+        // one block that makes the file discoverable, and it goes first.
+        self.fs.randomize_block(open.header_location)?;
+        let num_blocks = self.fs.superblock().num_blocks;
+        for loc in hygiene {
+            // Locations decoded from a partially written shadow map may be
+            // garbage; out-of-range ones are simply skipped. Everything here
+            // is hygiene — the blocks are unreferenced once the header is
+            // gone.
+            if loc > 0 && loc < num_blocks {
+                self.fs.randomize_block(loc)?;
+            }
+        }
+        Ok(Recovered::Back)
+    }
+
+    /// Complete or undo an interrupted batched delta update. Entries were
+    /// written in record order with at most one device write in flight at
+    /// the power cut, so the walk visits them stripe group by stripe group
+    /// (same-stripe entries are adjacent — batch indices ascend): fully
+    /// completed groups keep the walk going, the single in-flight group is
+    /// resolved to a clean chain position by [`Self::resolve_stripe_group`],
+    /// and the walk stops there — groups past the frontier never started,
+    /// and after a rollback their recorded parity chain no longer describes
+    /// the device.
+    fn recover_write_batch(
+        &self,
+        path: &str,
+        entries: &[BlockWriteIntent],
+    ) -> Result<Recovered, ResilienceError> {
+        let state = match self.file_state(path) {
+            Ok(state) => state,
+            Err(_) => return Ok(Recovered::Stale),
+        };
+        let mut g = state.write();
+
+        // Split the record into runs of same-stripe entries, preserving
+        // write order.
+        let mut groups: Vec<&[BlockWriteIntent]> = Vec::new();
+        let mut start = 0;
+        for i in 1..=entries.len() {
+            if i == entries.len()
+                || self.stripe_cfg.stripe_of(entries[i].index)
+                    != self.stripe_cfg.stripe_of(entries[start].index)
+            {
+                groups.push(&entries[start..i]);
+                start = i;
+            }
+        }
+
+        let mut touched = false;
+        let mut outcome = Recovered::Back;
+        for (gi, group) in groups.iter().enumerate() {
+            match self.resolve_stripe_group(&mut g, group)? {
+                GroupResolution::Advanced {
+                    complete,
+                    touched: wrote,
+                } => {
+                    touched |= wrote;
+                    if complete > 0 {
+                        outcome = Recovered::Forward;
+                    }
+                    // The frontier lies inside this group: no later group
+                    // ever started.
+                    if complete < group.len() {
+                        break;
+                    }
+                }
+                GroupResolution::Lost => {
+                    outcome = Recovered::Lost;
+                    break;
+                }
+                // Geometry mismatch: a later serialised (therefore complete)
+                // operation superseded this record.
+                GroupResolution::Stale => {
+                    if gi == 0 {
+                        outcome = Recovered::Stale;
+                    }
+                    break;
+                }
+            }
+        }
+        if touched {
+            self.rewrite_shadow(&mut g)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Resolve one stripe's run of batch entries after a crash.
+    ///
+    /// The operation wrote, per entry in order: the entry's data block, then
+    /// every parity row folded forward to the chain position *after* that
+    /// entry. A power cut is a strict prefix of those writes, so the group's
+    /// data blocks hold post-images for a leading run of entries (at most
+    /// one block torn mid-write) and the parity rows sit at — or torn
+    /// between — the chain positions bracketing that run. The resolve
+    /// classifies each group data block against its own recorded pre/post
+    /// MACs to find the frontier `complete`, expects every parity row at
+    /// chain position `complete`, erases every shard not in that target
+    /// state, and reconstructs the erased ones from the survivors
+    /// (non-group data blocks are identical in every chain position and are
+    /// trusted via their state-independent stripe-map checks). The
+    /// stripe-map checks are then aligned with the resolved state; the
+    /// caller owns the single shadow rewrite.
+    fn resolve_stripe_group(
+        &self,
+        g: &mut FileState,
+        group: &[BlockWriteIntent],
+    ) -> Result<GroupResolution, ResilienceError> {
+        let (k, m) = (self.stripe_cfg.k, self.stripe_cfg.m);
+        let stripe = self.stripe_cfg.stripe_of(group[0].index);
+        // Sanity: every entry must describe the file's current geometry;
+        // anything else means a later (serialised, therefore complete)
+        // operation superseded the record.
+        for e in group {
+            if e.index >= g.open.header.num_blocks()
+                || g.open.header.blocks[e.index as usize] != e.data_location
+                || e.parity.len() != m
+                || (0..m).any(|row| {
+                    g.stripes.parity_entry(stripe, row).location != e.parity[row].location
+                })
+            {
+                return Ok(GroupResolution::Stale);
+            }
+        }
+        let keys = self.checksum_keys(&g.open)?;
+        let content_key = *g.open.fak.content_key().expect("checked above");
+        let per = self.fs.content_bytes_per_block();
+
+        // Classify each group data block: Some(true) = post-image landed,
+        // Some(false) = still pre-image, None = torn.
+        let mut data_fields = Vec::with_capacity(group.len());
+        let mut data_states: Vec<Option<bool>> = Vec::with_capacity(group.len());
+        for e in group {
+            let field =
+                self.fs
+                    .codec()
+                    .read_sealed(self.fs.device(), e.data_location, &content_key)?;
+            let mac = keys.mac16(&field);
+            data_states.push(if mac == e.data_post.mac {
+                Some(true)
+            } else if mac == e.data_pre.mac {
+                Some(false)
+            } else {
+                None
+            });
+            data_fields.push(field);
+        }
+        // The frontier: writes land as a strict prefix, so post-images form
+        // a leading run. A block past it that is not a clean pre-image was
+        // torn mid-write and gets erased and rolled back.
+        let complete = data_states.iter().take_while(|&&s| s == Some(true)).count();
+
+        // Parity target: the chain position after `complete` entries.
+        let expected: Vec<BlockCheck> = if complete == 0 {
+            group[0].parity.iter().map(|p| p.pre).collect()
+        } else {
+            group[complete - 1].parity.iter().map(|p| p.post).collect()
+        };
+        let mut parity_fields = Vec::with_capacity(m);
+        let mut parity_ok = Vec::with_capacity(m);
+        for (row, exp) in expected.iter().enumerate() {
+            let loc = g.stripes.parity_entry(stripe, row).location;
+            let field = self
+                .fs
+                .codec()
+                .read_sealed(self.fs.device(), loc, &content_key)?;
+            parity_ok.push(keys.mac16(&field) == exp.mac);
+            parity_fields.push(field);
+        }
+
+        // Build the stripe's shard vector in the target state, erasing every
+        // shard that does not match it.
+        let range = g.stripes.stripe_data_range(stripe);
+        let live = range.clone().count();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+        for (slot, i) in range.clone().enumerate() {
+            if let Some(j) = group.iter().position(|e| e.index == i) {
+                let want_post = j < complete;
+                shards[slot] = (data_states[j] == Some(want_post)).then(|| data_fields[j].clone());
+            } else {
+                // Bystander: its content is identical at every chain
+                // position; trust it if it matches its (state-independent)
+                // stripe-map check.
+                let loc = g.open.header.blocks[i as usize];
+                let field = self
+                    .fs
+                    .codec()
+                    .read_sealed(self.fs.device(), loc, &content_key)?;
+                shards[slot] = (keys.mac16(&field) == g.stripes.data_check(i).mac).then_some(field);
+            }
+        }
+        for shard in shards.iter_mut().take(k).skip(live) {
+            *shard = Some(vec![0u8; per]);
+        }
+        for row in 0..m {
+            shards[k + row] = parity_ok[row].then(|| parity_fields[row].clone());
+        }
+        let missing: Vec<usize> = (0..k + m).filter(|&s| shards[s].is_none()).collect();
+        if self.codec.reconstruct(&mut shards, per).is_err() {
+            self.stats.add_unrecoverable_stripes(1);
+            return Ok(GroupResolution::Lost);
+        }
+
+        // Rewrite every erased shard in the target state, then make the
+        // stripe map agree with it.
+        let mut touched = !missing.is_empty();
+        for slot in missing {
+            let (loc, shard) = if slot < k {
+                let i = stripe * k as u64 + slot as u64;
+                (
+                    g.open.header.blocks[i as usize],
+                    shards[slot].as_ref().expect("reconstructed"),
+                )
+            } else {
+                (
+                    g.stripes.parity_entry(stripe, slot - k).location,
+                    shards[slot].as_ref().expect("reconstructed"),
+                )
+            };
+            self.fs.with_rng(|rng| {
+                self.fs
+                    .codec()
+                    .write_sealed(self.fs.device(), loc, &content_key, shard, rng)
+            })?;
+        }
+        for (j, e) in group.iter().enumerate() {
+            let check = if j < complete {
+                e.data_post
+            } else {
+                e.data_pre
+            };
+            if *g.stripes.data_check(e.index) != check {
+                g.stripes.set_data_check(e.index, check);
+                touched = true;
+            }
+        }
+        for (row, exp) in expected.iter().enumerate() {
+            let mut pe = *g.stripes.parity_entry(stripe, row);
+            if pe.check != *exp {
+                pe.check = *exp;
+                g.stripes.set_parity_entry(stripe, row, pe);
+                touched = true;
+            }
+        }
+        Ok(GroupResolution::Advanced { complete, touched })
+    }
+
+    /// Redo an interrupted repair: re-verify and re-repair every stripe of
+    /// the file. Repair is idempotent and clean stripes are untouched.
+    fn recover_repair(&self, path: &str) -> Result<Recovered, ResilienceError> {
+        let state = match self.file_state(path) {
+            Ok(state) => state,
+            Err(_) => return Ok(Recovered::Stale),
+        };
+        let mut g = state.write();
+        let mut lost = false;
+        for stripe in 0..g.stripes.num_stripes() {
+            lost |= self.repair_stripe(&mut g, stripe, false)?.unrecoverable;
+        }
+        Ok(if lost {
+            Recovered::Lost
+        } else {
+            Recovered::Forward
         })
     }
 
@@ -847,7 +1506,7 @@ impl<D: BlockDevice> ResilientStore<D> {
             self.stats.add_blocks_checked(sites.len() as u64);
 
             for stripe in degraded {
-                let repair = self.repair_stripe(&mut g, stripe)?;
+                let repair = self.repair_stripe(&mut g, stripe, true)?;
                 report.degraded_stripes += 1;
                 report.blocks_repaired += repair.repaired;
                 report.detected.extend(repair.detected);
@@ -858,6 +1517,190 @@ impl<D: BlockDevice> ResilientStore<D> {
         }
         self.stats.count_scrub();
         Ok(report)
+    }
+
+    // ----- scrub-on-cover-traffic --------------------------------------
+
+    /// Build a scrub cursor over every payload block, in a seeded
+    /// pseudo-random order. Feeding it to
+    /// [`ResilientStore::dummy_update_batch`] turns the volume's cover
+    /// traffic into a background scrub: each pass over the cursor MAC-checks
+    /// every hidden block exactly once while the touched-block stream keeps
+    /// its uniform look.
+    pub fn scrub_cursor(&self, seed: u64) -> ScrubCursor {
+        let num = self.fs.superblock().num_blocks;
+        let mut order: Vec<BlockId> = (1..num).collect();
+        let mut rng = HashDrbg::from_u64(seed);
+        // Fisher–Yates with the deterministic DRBG.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        ScrubCursor {
+            order,
+            pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// Issue `k` dummy updates, drawing victims from `cursor` when given
+    /// (scrub-on-cover-traffic) or uniformly at random otherwise. Every
+    /// victim is rewritten with fresh randomness: blocks owned by a managed
+    /// file are resealed under their real key — and opportunistically
+    /// MAC-verified, with a journaled stripe repair on mismatch — while
+    /// unowned blocks are re-randomised. Anchor replicas and journal slots
+    /// are skipped in *both* modes, so the two victim streams stay
+    /// distributionally comparable.
+    ///
+    /// Returns the blocks actually rewritten (the observable update stream).
+    pub fn dummy_update_batch(
+        &self,
+        k: usize,
+        cursor: Option<&ScrubCursor>,
+    ) -> Result<Vec<BlockId>, ResilienceError> {
+        let num = self.fs.superblock().num_blocks;
+        let victims: Vec<BlockId> = match cursor {
+            Some(cursor) => cursor.next_victims(k),
+            None => (0..k)
+                .map(|_| self.fs.with_rng(|rng| 1 + rng.gen_range(num - 1)))
+                .collect(),
+        };
+        let reserved: BTreeSet<BlockId> = VolumeAnchor::replica_blocks(num)
+            .into_iter()
+            .chain(self.journal.slots().iter().copied())
+            .collect();
+
+        // Owner lookup: which managed file (if any) holds each block, and in
+        // what role. Rebuilt per batch; the structures are small.
+        enum Role {
+            Content(u64),
+            Parity(u64, usize),
+            HeaderTree,
+            ShadowContent,
+            ShadowHeaderTree,
+        }
+        let files: Vec<(String, Arc<RwLock<FileState>>)> = self
+            .files
+            .read()
+            .iter()
+            .map(|(p, s)| (p.clone(), Arc::clone(s)))
+            .collect();
+        let mut owners: BTreeMap<BlockId, (usize, Role)> = BTreeMap::new();
+        for (fi, (_, state)) in files.iter().enumerate() {
+            let g = state.read();
+            for (i, &loc) in g.open.header.blocks.iter().enumerate() {
+                owners.insert(loc, (fi, Role::Content(i as u64)));
+            }
+            for stripe in 0..g.stripes.num_stripes() {
+                for row in 0..self.stripe_cfg.m {
+                    owners.insert(
+                        g.stripes.parity_entry(stripe, row).location,
+                        (fi, Role::Parity(stripe, row)),
+                    );
+                }
+            }
+            owners.insert(g.open.header_location, (fi, Role::HeaderTree));
+            for &loc in &g.open.indirect_locations {
+                owners.insert(loc, (fi, Role::HeaderTree));
+            }
+            for &loc in &g.shadow.header.blocks {
+                owners.insert(loc, (fi, Role::ShadowContent));
+            }
+            owners.insert(g.shadow.header_location, (fi, Role::ShadowHeaderTree));
+            for &loc in &g.shadow.indirect_locations {
+                owners.insert(loc, (fi, Role::ShadowHeaderTree));
+            }
+        }
+
+        let mut touched = Vec::with_capacity(victims.len());
+        for victim in victims {
+            if reserved.contains(&victim) {
+                continue;
+            }
+            match owners.get(&victim) {
+                None => self.fs.randomize_block(victim)?,
+                Some(&(fi, ref role)) => {
+                    let state = &files[fi].1;
+                    let g = state.read();
+                    let fak = &g.open.fak;
+                    match *role {
+                        Role::Content(i) => {
+                            let key = fak.content_key().expect("managed files have one");
+                            let field =
+                                self.fs.codec().read_sealed(self.fs.device(), victim, key)?;
+                            let keys = self.checksum_keys(&g.open)?;
+                            if i < g.stripes.num_data()
+                                && keys.mac16(&field) != g.stripes.data_check(i).mac
+                            {
+                                // Scrub-on-cover-traffic: the dummy update
+                                // found silent corruption; heal the stripe.
+                                drop(g);
+                                let mut w = state.write();
+                                let stripe = self.stripe_cfg.stripe_of(i);
+                                self.repair_stripe(&mut w, stripe, true)?;
+                            } else {
+                                self.fs.reseal_block(victim, key)?;
+                            }
+                        }
+                        Role::Parity(stripe, row) => {
+                            let key = fak.content_key().expect("managed files have one");
+                            let field =
+                                self.fs.codec().read_sealed(self.fs.device(), victim, key)?;
+                            let keys = self.checksum_keys(&g.open)?;
+                            if keys.mac16(&field) != g.stripes.parity_entry(stripe, row).check.mac {
+                                drop(g);
+                                let mut w = state.write();
+                                self.repair_stripe(&mut w, stripe, true)?;
+                            } else {
+                                self.fs.reseal_block(victim, key)?;
+                            }
+                        }
+                        Role::HeaderTree => {
+                            self.fs.reseal_block(victim, fak.header_key())?;
+                        }
+                        Role::ShadowContent => {
+                            let key = g.shadow.fak.content_key().expect("shadow has one");
+                            self.fs.reseal_block(victim, key)?;
+                        }
+                        Role::ShadowHeaderTree => {
+                            self.fs.reseal_block(victim, g.shadow.fak.header_key())?;
+                        }
+                    }
+                }
+            }
+            touched.push(victim);
+        }
+        Ok(touched)
+    }
+}
+
+/// A cycling, seeded-shuffle iterator over the volume's payload blocks: the
+/// victim stream that lets a scrub pass ride the dummy-update cover traffic.
+/// One full cycle visits every payload block exactly once.
+pub struct ScrubCursor {
+    order: Vec<BlockId>,
+    pos: AtomicUsize,
+}
+
+impl ScrubCursor {
+    /// The next `k` victim blocks, cycling through the shuffled order.
+    pub fn next_victims(&self, k: usize) -> Vec<BlockId> {
+        (0..k)
+            .map(|_| {
+                let i = self.pos.fetch_add(1, Ordering::Relaxed) % self.order.len();
+                self.order[i]
+            })
+            .collect()
+    }
+
+    /// Blocks per full cycle (the volume's payload block count).
+    pub fn cycle_len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+impl steghide::VictimSource for ScrubCursor {
+    fn next_victims(&self, k: usize) -> Vec<BlockId> {
+        ScrubCursor::next_victims(self, k)
     }
 }
 
@@ -1086,9 +1929,11 @@ mod tests {
         let data = content(4000);
         store.create_file("/a", &data).unwrap();
 
-        // The next scalar write lands only half a sector: tear the data
-        // block write of an update mid-flight.
+        // Tear the update's first two scalar writes mid-sector: the intent
+        // record (torn journal records self-invalidate; nothing scans it
+        // here) and then the data block write.
         let per = store.fs().content_bytes_per_block();
+        store.fs.device().arm_partial_scalar_write(100);
         store.fs.device().arm_partial_scalar_write(100);
         let new_block = vec![0x77u8; per];
         store.write_block("/a", 0, &new_block).unwrap();

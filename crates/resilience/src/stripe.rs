@@ -62,14 +62,14 @@ pub struct BlockCheck {
 }
 
 impl BlockCheck {
-    const ENCODED_LEN: usize = 8 + 16;
+    pub(crate) const ENCODED_LEN: usize = 8 + 16;
 
-    fn encode_into(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.fast.to_le_bytes());
         out.extend_from_slice(&self.mac);
     }
 
-    fn decode(buf: &[u8]) -> Self {
+    pub(crate) fn decode(buf: &[u8]) -> Self {
         let fast = u64::from_le_bytes(buf[..8].try_into().unwrap());
         let mut mac = [0u8; 16];
         mac.copy_from_slice(&buf[8..24]);

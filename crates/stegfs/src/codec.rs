@@ -307,6 +307,38 @@ mod tests {
     }
 
     #[test]
+    fn mid_range_tear_is_caught_by_relocation_read_back() {
+        // A batched flush of relocated blocks goes through write_blocks and
+        // the range tears *inside* a block (sub-sector crash). The read-back
+        // verification that reseal_relocated performs per destination must
+        // classify every destination as landed or not — the mid-torn sealed
+        // block may not silently pass.
+        use stegfs_blockdev::FaultDevice;
+        let c = codec();
+        let dev = FaultDevice::new(MemDevice::new(8, 4096));
+        let mut rng = HashDrbg::from_u64(11);
+        let payloads: Vec<Vec<u8>> = (0..3).map(|i| vec![0xa0 + i as u8; 64]).collect();
+        let mut batch = Vec::new();
+        for p in &payloads {
+            batch.extend_from_slice(&c.seal(&key(4), p, &mut rng).unwrap());
+        }
+        // One whole block lands, then 20 bytes of the second block: its new
+        // IV plus a few ciphertext bytes, the rest stale.
+        dev.arm_torn_ranged_write_partial(1, 20);
+        dev.write_blocks(4, &batch).unwrap();
+        // Destination 4 landed and verifies like reseal_relocated's check.
+        let ok = c.read_sealed(&dev, 4, &key(4)).unwrap();
+        assert_eq!(&ok[..64], &payloads[0][..]);
+        // Destination 5 is mid-torn: the new IV no longer matches the stale
+        // ciphertext tail, so the opened plaintext cannot equal the sealed one.
+        let torn = c.read_sealed(&dev, 5, &key(4)).unwrap();
+        assert_ne!(&torn[..64], &payloads[1][..]);
+        // Destination 6 was dropped entirely (still the old content).
+        let dropped = c.read_sealed(&dev, 6, &key(4)).unwrap();
+        assert_ne!(&dropped[..64], &payloads[2][..]);
+    }
+
+    #[test]
     fn write_random_fills_block() {
         let c = codec();
         let dev = MemDevice::new(4, 4096);

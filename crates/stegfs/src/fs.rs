@@ -630,6 +630,14 @@ impl<D: BlockDevice> StegFs<D> {
             &file.indirect_locations,
         )?;
         let mut rng = self.rng.lock();
+        // Crash ordering: indirect blocks first, header block last. A header
+        // is only discoverable through the probe scan, so until the single
+        // header write lands the file presents its previous state; that one
+        // sector-atomic write is the commit point of the whole header tree.
+        for (&loc, payload) in file.indirect_locations.iter().zip(indirect_payloads.iter()) {
+            self.codec
+                .write_sealed(&self.device, loc, file.fak.header_key(), payload, &mut rng)?;
+        }
         self.codec.write_sealed(
             &self.device,
             file.header_location,
@@ -637,15 +645,17 @@ impl<D: BlockDevice> StegFs<D> {
             &header_payload,
             &mut rng,
         )?;
-        for (&loc, payload) in file.indirect_locations.iter().zip(indirect_payloads.iter()) {
-            self.codec
-                .write_sealed(&self.device, loc, file.fak.header_key(), payload, &mut rng)?;
-        }
         file.dirty = false;
         Ok(())
     }
 
     /// Delete a file: release all of its blocks back to the dummy pool.
+    ///
+    /// Crash ordering: [`OpenFile::all_blocks`] lists the header first, so
+    /// the very first randomizing write makes the file undiscoverable; a cut
+    /// anywhere later strands only unreachable sealed blocks, which are
+    /// indistinguishable from free space and simply rejoin the dummy pool at
+    /// the next format-level accounting.
     pub fn delete_file<M: ClassMap>(&self, map: &mut M, file: OpenFile) -> Result<(), FsError> {
         let blocks = file.all_blocks();
         self.release_blocks(map, &blocks)

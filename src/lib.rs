@@ -13,11 +13,13 @@
 //! * [`stegfs_oblivious`] — the oblivious storage of Section 5 that hides
 //!   read traffic.
 //! * [`stegfs_resilience`] — erasure-coded stripes, the replicated
-//!   self-healing volume anchor, and the scrub/repair sweep.
+//!   self-healing volume anchor, the scrub/repair sweep, and the deniable
+//!   write-ahead intent journal with open-time crash recovery.
 //! * [`stegfs_base`] — the underlying steganographic file system substrate
 //!   (ICDE 2003 StegFS).
-//! * [`stegfs_blockdev`] — raw block devices, I/O tracing, and the simulated
-//!   disk timing model used by the benchmarks.
+//! * [`stegfs_blockdev`] — raw block devices, I/O tracing, the simulated
+//!   disk timing model used by the benchmarks, and the fault/power-cut
+//!   injection devices behind the corruption and crash-recovery suites.
 //! * [`stegfs_crypto`] — AES/CBC, SHA-256, HMAC and the SHA-256 DRBG.
 //! * [`stegfs_baselines`] — CleanDisk / FragDisk native-file-system baselines.
 //! * [`stegfs_analysis`] — update-analysis and traffic-analysis attackers plus
@@ -39,10 +41,10 @@ pub mod prelude {
     pub use stegfs_base::{FileAccessKey, StegFs, StegFsConfig};
     pub use stegfs_blockdev::{
         sim::{DiskModel, SimDevice},
-        BlockDevice, MemDevice, TracingDevice,
+        BlockDevice, CrashDevice, CrashPoint, MemDevice, TracingDevice,
     };
     pub use stegfs_crypto::{Aes256, CbcCipher, HashDrbg, Key256, Sha256};
     pub use stegfs_oblivious::{ObliviousConfig, ObliviousStore};
-    pub use stegfs_resilience::{ResilienceConfig, ResilientStore, StripeConfig};
+    pub use stegfs_resilience::{IntentJournal, ResilienceConfig, ResilientStore, StripeConfig};
     pub use steghide::{AgentConfig, NonVolatileAgent, VolatileAgent};
 }

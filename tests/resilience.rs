@@ -14,7 +14,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use stegfs_repro::analysis::{byte_value_chi_square, byte_value_kl, kl_divergence_between};
-use stegfs_repro::blockdev::{BlockDevice, FaultDevice, FaultPlan, MemDevice};
+use stegfs_repro::blockdev::{BlockDevice, BlockDeviceExt, FaultDevice, FaultPlan, MemDevice};
 use stegfs_repro::prelude::*;
 use stegfs_repro::resilience::{ResilienceError, VolumeAnchor};
 
@@ -319,4 +319,89 @@ fn striped_volume_is_statistically_indistinguishable_from_unstriped() {
     let as_obs = |bytes: &[u8]| bytes.iter().map(|&b| b as u64).collect::<Vec<u64>>();
     let kl = kl_divergence_between(&as_obs(&plain_bytes), &as_obs(&striped_bytes), 256, 256);
     assert!(kl < 0.01, "KL(plain ‖ striped) = {kl}");
+}
+
+/// Scrub-as-cover-traffic visibility: the dummy-update stream with the scrub
+/// cursor riding it must be distributionally indistinguishable from the pure
+/// uniform stream. The two victim streams are drawn on the *same* volume in
+/// alternation and compared as binned block-id histograms; a cursor that
+/// clustered its sweeps (or skipped different blocks than the uniform mode)
+/// would separate here.
+#[test]
+fn scrub_cover_traffic_is_indistinguishable_from_uniform_dummies() {
+    let store = fresh(2, 1, 0x5c2b);
+    let per = store.fs().content_bytes_per_block();
+    store.create_file("/doc", &pattern(5 * per, 3)).unwrap();
+
+    let cursor = store.scrub_cursor(17);
+    let mut with_cursor: Vec<u64> = Vec::new();
+    let mut uniform: Vec<u64> = Vec::new();
+    for _ in 0..600 {
+        with_cursor.extend(store.dummy_update_batch(8, Some(&cursor)).unwrap());
+        uniform.extend(store.dummy_update_batch(8, None).unwrap());
+    }
+    // Both modes drop the occasional reserved-block draw, so the stream
+    // lengths agree only approximately.
+    assert!(with_cursor.len() >= 4500 && uniform.len() >= 4500);
+
+    let kl = kl_divergence_between(&with_cursor, &uniform, NUM_BLOCKS, 16);
+    assert!(kl < 0.01, "KL(cursor ‖ uniform) = {kl}");
+
+    // One full cursor cycle names every payload block exactly once — the
+    // scrub guarantee the cover traffic pays for. (Reserved blocks are in
+    // the cycle but skipped at rewrite time, identically to the uniform
+    // mode's skip of reserved draws.)
+    let fresh_cursor = store.scrub_cursor(23);
+    let mut cycle = fresh_cursor.next_victims(fresh_cursor.cycle_len());
+    cycle.sort_unstable();
+    let expect: Vec<u64> = (1..NUM_BLOCKS).collect();
+    assert_eq!(cycle, expect);
+}
+
+/// Eight threads race to open the same volume while one anchor replica is a
+/// stale (older-generation) copy. Every open must resolve the quorum to the
+/// newest generation, see both files intact, and the stale replica must end
+/// up repaired in place.
+#[test]
+fn concurrent_opens_repair_a_stale_anchor_replica() {
+    let dev = Arc::new(MemDevice::new(NUM_BLOCKS, BLOCK_SIZE));
+    let store = ResilientStore::format(Arc::clone(&dev), cfg(2, 1), &master(), 77).unwrap();
+    let per = store.fs().content_bytes_per_block();
+    let a = pattern(3 * per, 1);
+    store.create_file("/a", &a).unwrap();
+
+    // Capture a replica now, then advance the volume one more generation so
+    // the captured bytes become a genuinely stale — but validly sealed —
+    // anchor copy.
+    let replica = VolumeAnchor::replica_blocks(NUM_BLOCKS)[1];
+    let stale = dev.read_block_vec(replica).unwrap();
+    let b = pattern(4 * per + 9, 2);
+    store.create_file("/b", &b).unwrap();
+    let generation = store.generation();
+    drop(store);
+    dev.write_block(replica, &stale).unwrap();
+
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let dev = Arc::clone(&dev);
+            let barrier = Arc::clone(&barrier);
+            let (a, b) = (a.clone(), b.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                let store = ResilientStore::open(dev, cfg(2, 1), &master(), 1000 + t).unwrap();
+                assert_eq!(store.generation(), generation);
+                assert_eq!(store.read_file("/a").unwrap(), a);
+                assert_eq!(store.read_file("/b").unwrap(), b);
+                store.stats().anchor_repairs
+            })
+        })
+        .collect();
+    let repairs: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(repairs >= 1, "no open repaired the stale replica");
+
+    // The racing repairs converged: a fresh open finds a full-quorum anchor.
+    let store = ResilientStore::open(Arc::clone(&dev), cfg(2, 1), &master(), 5).unwrap();
+    assert_eq!(store.stats().anchor_repairs, 0);
+    assert_eq!(store.generation(), generation);
 }

@@ -84,6 +84,7 @@ fn expected_figure_and_table_bins_exist() {
         "oblivious_baseline",
         "concurrent_baseline",
         "resilience_baseline",
+        "recovery_baseline",
     ] {
         assert!(
             on_disk.contains(required),
