@@ -1,19 +1,31 @@
 //! FIPS-197 AES block cipher (128- and 256-bit keys), encryption and
-//! decryption.
+//! decryption, behind a runtime-dispatched backend.
 //!
-//! The hot path is a word-oriented implementation built on fused T-tables:
-//! each of the four 256×`u32` encryption tables combines SubBytes, ShiftRows
-//! and MixColumns into a single lookup (and the four decryption tables fuse
-//! the inverse transformations), so a round is 16 table lookups and a handful
-//! of XORs instead of dozens of byte operations. All tables are computed at
-//! compile time, and the round keys live in fixed-size stack arrays, so
-//! constructing an [`Aes128`] or [`Aes256`] performs no heap allocation.
+//! Three implementations live side by side:
 //!
-//! The original table-free byte-oriented implementation is preserved in
-//! [`reference`]; property tests assert both agree on random keys and blocks.
+//! * [`ttable`] — the portable fused-T-table cipher (a round is 16 table
+//!   lookups and a handful of XORs); compiles and runs everywhere.
+//! * `aesni` — hardware AES via `aesenc`/`aesdec`/`aeskeygenassist`
+//!   intrinsics (x86-64 only), with batched 8-wide pipelined entry points.
+//! * [`reference`] — the original table-free byte-oriented implementation,
+//!   kept as the correctness oracle; property tests assert all backends agree
+//!   on random keys and blocks.
+//!
+//! [`Aes128`] and [`Aes256`] snapshot the process-wide selection from
+//! [`crate::backend`] at construction time, so which machine code runs is
+//! decided once (CPU detection + `STEGFS_CRYPTO_BACKEND` override) and the
+//! rest of the workspace stays backend-oblivious. Round keys for every
+//! backend live in fixed-size stack arrays — no heap allocation — and are
+//! overwritten on drop.
 
 pub mod reference;
 
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod aesni;
+mod ttable;
+
+use crate::backend::{self, Backend};
 use crate::CryptoError;
 
 /// The AES block size in bytes.
@@ -22,14 +34,51 @@ pub const AES_BLOCK_SIZE: usize = 16;
 /// A block cipher operating on 16-byte blocks.
 ///
 /// Both [`Aes128`] and [`Aes256`] implement this trait; the rest of the
-/// workspace is generic over it so tests can plug in lighter ciphers.
+/// workspace is generic over it so tests can plug in lighter ciphers. The
+/// batched methods exist so hardware backends can keep several blocks in
+/// flight per call — implementors with a pipelined path should override them,
+/// and callers with more than a block of data should prefer them.
 pub trait BlockCipher: Send + Sync {
     /// Encrypt a single 16-byte block in place.
     fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
     /// Decrypt a single 16-byte block in place.
     fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+
+    /// Encrypt every 16-byte block of `data` in place (ECB over the slice).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of [`AES_BLOCK_SIZE`].
+    fn encrypt_blocks(&self, data: &mut [u8]) {
+        assert_eq!(
+            data.len() % AES_BLOCK_SIZE,
+            0,
+            "data must be 16-byte blocks"
+        );
+        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            self.encrypt_block(block.try_into().expect("16-byte chunks"));
+        }
+    }
+
+    /// Decrypt every 16-byte block of `data` in place (ECB over the slice).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of [`AES_BLOCK_SIZE`].
+    fn decrypt_blocks(&self, data: &mut [u8]) {
+        assert_eq!(
+            data.len() % AES_BLOCK_SIZE,
+            0,
+            "data must be 16-byte blocks"
+        );
+        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            self.decrypt_block(block.try_into().expect("16-byte chunks"));
+        }
+    }
 }
 
+// The blanket impls must forward the batched methods explicitly — falling
+// back to the trait defaults here would silently strip the pipelined path
+// from every cipher reaching CBC through `&C` or the schedule cache's
+// `Arc<Aes256>`.
 impl<C: BlockCipher + ?Sized> BlockCipher for &C {
     fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
         (**self).encrypt_block(block);
@@ -37,6 +86,14 @@ impl<C: BlockCipher + ?Sized> BlockCipher for &C {
 
     fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
         (**self).decrypt_block(block);
+    }
+
+    fn encrypt_blocks(&self, data: &mut [u8]) {
+        (**self).encrypt_blocks(data);
+    }
+
+    fn decrypt_blocks(&self, data: &mut [u8]) {
+        (**self).decrypt_blocks(data);
     }
 }
 
@@ -47,6 +104,14 @@ impl<C: BlockCipher + ?Sized> BlockCipher for std::sync::Arc<C> {
 
     fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
         (**self).decrypt_block(block);
+    }
+
+    fn encrypt_blocks(&self, data: &mut [u8]) {
+        (**self).encrypt_blocks(data);
+    }
+
+    fn decrypt_blocks(&self, data: &mut [u8]) {
+        (**self).decrypt_blocks(data);
     }
 }
 
@@ -141,322 +206,150 @@ pub(crate) const RCON: [u8; 15] = [
     0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
 ];
 
-/// Fused encryption table: `TE0[x]` is the MixColumns image of the column
-/// `(S[x], 0, 0, 0)`, i.e. the big-endian word `(2·S[x], S[x], S[x], 3·S[x])`.
-/// `TE1..TE3` are byte rotations of `TE0` covering the other three rows, which
-/// is exactly where ShiftRows lands each state byte.
-const TE0: [u32; 256] = build_te0();
-const TE1: [u32; 256] = rotate_table(&TE0, 8);
-const TE2: [u32; 256] = rotate_table(&TE0, 16);
-const TE3: [u32; 256] = rotate_table(&TE0, 24);
-
-/// Fused decryption table: `TD0[x]` is the InvMixColumns image of the column
-/// `(Si[x], 0, 0, 0)` — the word `(14·Si[x], 9·Si[x], 13·Si[x], 11·Si[x])`.
-const TD0: [u32; 256] = build_td0();
-const TD1: [u32; 256] = rotate_table(&TD0, 8);
-const TD2: [u32; 256] = rotate_table(&TD0, 16);
-const TD3: [u32; 256] = rotate_table(&TD0, 24);
-
-const fn build_te0() -> [u32; 256] {
-    let mut t = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let s = SBOX[i];
-        t[i] = ((MUL2[s as usize] as u32) << 24)
-            | ((s as u32) << 16)
-            | ((s as u32) << 8)
-            | (MUL3[s as usize] as u32);
-        i += 1;
-    }
-    t
-}
-
-const fn build_td0() -> [u32; 256] {
-    let mut t = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let s = INV_SBOX[i] as usize;
-        t[i] = ((MUL14[s] as u32) << 24)
-            | ((MUL9[s] as u32) << 16)
-            | ((MUL13[s] as u32) << 8)
-            | (MUL11[s] as u32);
-        i += 1;
-    }
-    t
-}
-
-const fn rotate_table(base: &[u32; 256], bits: u32) -> [u32; 256] {
-    let mut t = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        t[i] = base[i].rotate_right(bits);
-        i += 1;
-    }
-    t
-}
-
-#[inline]
-fn sub_word(w: u32) -> u32 {
-    ((SBOX[(w >> 24) as usize] as u32) << 24)
-        | ((SBOX[((w >> 16) & 0xff) as usize] as u32) << 16)
-        | ((SBOX[((w >> 8) & 0xff) as usize] as u32) << 8)
-        | (SBOX[(w & 0xff) as usize] as u32)
-}
-
-/// InvMixColumns of one big-endian column word; applied to the middle rounds
-/// of the decryption schedule so decryption can use the fused `TD` tables
-/// (the "equivalent inverse cipher" of FIPS-197 Section 5.3.5).
-#[inline]
-fn inv_mix_word(w: u32) -> u32 {
-    let [a0, a1, a2, a3] = w.to_be_bytes();
-    let (a0, a1, a2, a3) = (a0 as usize, a1 as usize, a2 as usize, a3 as usize);
-    u32::from_be_bytes([
-        MUL14[a0] ^ MUL11[a1] ^ MUL13[a2] ^ MUL9[a3],
-        MUL9[a0] ^ MUL14[a1] ^ MUL11[a2] ^ MUL13[a3],
-        MUL13[a0] ^ MUL9[a1] ^ MUL14[a2] ^ MUL11[a3],
-        MUL11[a0] ^ MUL13[a1] ^ MUL9[a2] ^ MUL14[a3],
-    ])
-}
-
-/// Expanded round keys for both directions, in fixed-size stack arrays
-/// (`W = 4 * (rounds + 1)` words). Construction never touches the heap.
+/// One backend's expanded schedule. The enum tag is the per-instance snapshot
+/// of the process-wide selection; taken at construction so an instance's
+/// behaviour never changes mid-flight even if [`backend::force`] runs later.
 #[derive(Clone)]
-struct Schedule<const W: usize> {
-    enc: [u32; W],
-    dec: [u32; W],
+enum Aes128Inner {
+    TTable(ttable::Aes128),
+    #[cfg(target_arch = "x86_64")]
+    AesNi(aesni::Aes128Ni),
 }
 
-impl<const W: usize> Schedule<W> {
-    /// FIPS-197 key expansion into both directions' round keys. The key
-    /// length is checked once here with a typed error; nothing downstream can
-    /// panic on a short slice.
-    fn expand(key: &[u8]) -> Result<Self, CryptoError> {
-        let nk = match W {
-            44 => 4, // AES-128: 4-word key, 10 rounds, 44 schedule words.
-            60 => 8, // AES-256: 8-word key, 14 rounds, 60 schedule words.
-            _ => unreachable!("unsupported schedule size"),
-        };
-        if key.len() != nk * 4 {
-            return Err(CryptoError::BadKeyLength {
-                expected: nk * 4,
-                got: key.len(),
-            });
-        }
-        let rounds = W / 4 - 1;
-        let mut enc = [0u32; W];
-        for (i, chunk) in key.chunks_exact(4).enumerate() {
-            enc[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in nk..W {
-            let mut temp = enc[i - 1];
-            if i % nk == 0 {
-                temp = sub_word(temp.rotate_left(8)) ^ ((RCON[i / nk - 1] as u32) << 24);
-            } else if nk > 6 && i % nk == 4 {
-                temp = sub_word(temp);
-            }
-            enc[i] = enc[i - nk] ^ temp;
-        }
-
-        // Decryption schedule: round keys in reverse round order, with
-        // InvMixColumns folded into every middle round.
-        let mut dec = [0u32; W];
-        for r in 0..=rounds {
-            for c in 0..4 {
-                dec[4 * r + c] = enc[4 * (rounds - r) + c];
-            }
-        }
-        for w in dec[4..4 * rounds].iter_mut() {
-            *w = inv_mix_word(*w);
-        }
-        Ok(Self { enc, dec })
-    }
-}
-
-impl<const W: usize> Drop for Schedule<W> {
-    fn drop(&mut self) {
-        // Explicit clearing of key material on drop. `black_box` keeps the
-        // optimiser from eliding the writes as dead stores.
-        self.enc.fill(0);
-        self.dec.fill(0);
-        core::hint::black_box(&self.enc);
-        core::hint::black_box(&self.dec);
-    }
-}
-
-/// One full encryption through a `W`-word schedule. `W` is a compile-time
-/// constant, so the round count (`W / 4 - 1`) unrolls and every round-key
-/// access is bounds-check free after monomorphisation.
-#[inline]
-fn encrypt_words<const W: usize>(block: &mut [u8; AES_BLOCK_SIZE], rk: &[u32; W]) {
-    let rounds = W / 4 - 1;
-    let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
-    let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[1];
-    let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[2];
-    let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[3];
-
-    let mut k = 4;
-    for _ in 1..rounds {
-        let t0 = TE0[(s0 >> 24) as usize]
-            ^ TE1[((s1 >> 16) & 0xff) as usize]
-            ^ TE2[((s2 >> 8) & 0xff) as usize]
-            ^ TE3[(s3 & 0xff) as usize]
-            ^ rk[k];
-        let t1 = TE0[(s1 >> 24) as usize]
-            ^ TE1[((s2 >> 16) & 0xff) as usize]
-            ^ TE2[((s3 >> 8) & 0xff) as usize]
-            ^ TE3[(s0 & 0xff) as usize]
-            ^ rk[k + 1];
-        let t2 = TE0[(s2 >> 24) as usize]
-            ^ TE1[((s3 >> 16) & 0xff) as usize]
-            ^ TE2[((s0 >> 8) & 0xff) as usize]
-            ^ TE3[(s1 & 0xff) as usize]
-            ^ rk[k + 2];
-        let t3 = TE0[(s3 >> 24) as usize]
-            ^ TE1[((s0 >> 16) & 0xff) as usize]
-            ^ TE2[((s1 >> 8) & 0xff) as usize]
-            ^ TE3[(s2 & 0xff) as usize]
-            ^ rk[k + 3];
-        s0 = t0;
-        s1 = t1;
-        s2 = t2;
-        s3 = t3;
-        k += 4;
-    }
-
-    // Final round: SubBytes ∘ ShiftRows only (no MixColumns).
-    let t0 = last_round_word(s0, s1, s2, s3, &SBOX) ^ rk[k];
-    let t1 = last_round_word(s1, s2, s3, s0, &SBOX) ^ rk[k + 1];
-    let t2 = last_round_word(s2, s3, s0, s1, &SBOX) ^ rk[k + 2];
-    let t3 = last_round_word(s3, s0, s1, s2, &SBOX) ^ rk[k + 3];
-
-    block[0..4].copy_from_slice(&t0.to_be_bytes());
-    block[4..8].copy_from_slice(&t1.to_be_bytes());
-    block[8..12].copy_from_slice(&t2.to_be_bytes());
-    block[12..16].copy_from_slice(&t3.to_be_bytes());
-}
-
-#[inline]
-fn decrypt_words<const W: usize>(block: &mut [u8; AES_BLOCK_SIZE], rk: &[u32; W]) {
-    let rounds = W / 4 - 1;
-    let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
-    let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[1];
-    let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[2];
-    let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[3];
-
-    let mut k = 4;
-    for _ in 1..rounds {
-        let t0 = TD0[(s0 >> 24) as usize]
-            ^ TD1[((s3 >> 16) & 0xff) as usize]
-            ^ TD2[((s2 >> 8) & 0xff) as usize]
-            ^ TD3[(s1 & 0xff) as usize]
-            ^ rk[k];
-        let t1 = TD0[(s1 >> 24) as usize]
-            ^ TD1[((s0 >> 16) & 0xff) as usize]
-            ^ TD2[((s3 >> 8) & 0xff) as usize]
-            ^ TD3[(s2 & 0xff) as usize]
-            ^ rk[k + 1];
-        let t2 = TD0[(s2 >> 24) as usize]
-            ^ TD1[((s1 >> 16) & 0xff) as usize]
-            ^ TD2[((s0 >> 8) & 0xff) as usize]
-            ^ TD3[(s3 & 0xff) as usize]
-            ^ rk[k + 2];
-        let t3 = TD0[(s3 >> 24) as usize]
-            ^ TD1[((s2 >> 16) & 0xff) as usize]
-            ^ TD2[((s1 >> 8) & 0xff) as usize]
-            ^ TD3[(s0 & 0xff) as usize]
-            ^ rk[k + 3];
-        s0 = t0;
-        s1 = t1;
-        s2 = t2;
-        s3 = t3;
-        k += 4;
-    }
-
-    let t0 = last_round_word(s0, s3, s2, s1, &INV_SBOX) ^ rk[k];
-    let t1 = last_round_word(s1, s0, s3, s2, &INV_SBOX) ^ rk[k + 1];
-    let t2 = last_round_word(s2, s1, s0, s3, &INV_SBOX) ^ rk[k + 2];
-    let t3 = last_round_word(s3, s2, s1, s0, &INV_SBOX) ^ rk[k + 3];
-
-    block[0..4].copy_from_slice(&t0.to_be_bytes());
-    block[4..8].copy_from_slice(&t1.to_be_bytes());
-    block[8..12].copy_from_slice(&t2.to_be_bytes());
-    block[12..16].copy_from_slice(&t3.to_be_bytes());
-}
-
-/// Assemble one final-round output word from the top/high/low/bottom bytes of
-/// the four words ShiftRows (or InvShiftRows) routes into it.
-#[inline]
-fn last_round_word(a: u32, b: u32, c: u32, d: u32, sbox: &[u8; 256]) -> u32 {
-    ((sbox[(a >> 24) as usize] as u32) << 24)
-        | ((sbox[((b >> 16) & 0xff) as usize] as u32) << 16)
-        | ((sbox[((c >> 8) & 0xff) as usize] as u32) << 8)
-        | (sbox[(d & 0xff) as usize] as u32)
+#[derive(Clone)]
+enum Aes256Inner {
+    TTable(ttable::Aes256),
+    #[cfg(target_arch = "x86_64")]
+    AesNi(aesni::Aes256Ni),
 }
 
 /// AES with a 128-bit key (10 rounds).
 #[derive(Clone)]
 pub struct Aes128 {
-    keys: Schedule<44>,
-}
-
-impl Aes128 {
-    /// Construct a cipher instance from a 16-byte key. Allocation-free.
-    pub fn new(key: &[u8; 16]) -> Self {
-        Self {
-            keys: Schedule::expand(key).expect("16-byte key is always valid"),
-        }
-    }
-
-    /// Construct from a slice, rejecting wrong lengths with a typed error.
-    pub fn from_slice(key: &[u8]) -> Result<Self, CryptoError> {
-        Ok(Self {
-            keys: Schedule::expand(key)?,
-        })
-    }
-}
-
-impl BlockCipher for Aes128 {
-    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
-        encrypt_words(block, &self.keys.enc);
-    }
-
-    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
-        decrypt_words(block, &self.keys.dec);
-    }
+    inner: Aes128Inner,
 }
 
 /// AES with a 256-bit key (14 rounds). This is the cipher used throughout the
 /// reproduction, matching the paper's choice of AES for the block cipher.
 #[derive(Clone)]
 pub struct Aes256 {
-    keys: Schedule<60>,
+    inner: Aes256Inner,
 }
 
-impl Aes256 {
-    /// Construct a cipher instance from a 32-byte key. Allocation-free.
-    pub fn new(key: &[u8; 32]) -> Self {
-        Self {
-            keys: Schedule::expand(key).expect("32-byte key is always valid"),
+macro_rules! dispatcher_impl {
+    ($name:ident, $inner:ident, $ttable:ty, $aesni:ty, $keylen:expr) => {
+        impl $name {
+            /// Construct a cipher on the active backend (see [`crate::backend`]).
+            /// Allocation-free.
+            pub fn new(key: &[u8; $keylen]) -> Self {
+                Self::with_backend(key.as_slice(), backend::active())
+                    .expect("active backend is always available")
+            }
+
+            /// Construct from a slice on the active backend, rejecting wrong
+            /// key lengths with a typed error.
+            pub fn from_slice(key: &[u8]) -> Result<Self, CryptoError> {
+                Self::with_backend(key, backend::active())
+            }
+
+            /// Construct on an explicitly chosen backend. Fails with
+            /// [`CryptoError::BackendUnavailable`] if this CPU cannot run it,
+            /// or [`CryptoError::BadKeyLength`] for a wrong-sized key. Used by
+            /// the cross-backend equivalence suites; production code should
+            /// use [`Self::new`] and the process-wide selection.
+            pub fn with_backend(key: &[u8], backend: Backend) -> Result<Self, CryptoError> {
+                if !backend.is_available() {
+                    return Err(CryptoError::BackendUnavailable {
+                        backend: backend.name(),
+                    });
+                }
+                let inner = match backend {
+                    Backend::Portable => $inner::TTable(<$ttable>::from_slice(key)?),
+                    #[cfg(target_arch = "x86_64")]
+                    Backend::AesNi => {
+                        let key: &[u8; $keylen] =
+                            key.try_into().map_err(|_| CryptoError::BadKeyLength {
+                                expected: $keylen,
+                                got: key.len(),
+                            })?;
+                        $inner::AesNi(<$aesni>::new(key))
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    Backend::AesNi => unreachable!("checked is_available above"),
+                };
+                Ok(Self { inner })
+            }
+
+            /// Which backend this instance snapshotted at construction.
+            pub fn backend(&self) -> Backend {
+                match &self.inner {
+                    $inner::TTable(_) => Backend::Portable,
+                    #[cfg(target_arch = "x86_64")]
+                    $inner::AesNi(_) => Backend::AesNi,
+                }
+            }
         }
-    }
 
-    /// Construct from a slice, rejecting wrong lengths with a typed error.
-    pub fn from_slice(key: &[u8]) -> Result<Self, CryptoError> {
-        Ok(Self {
-            keys: Schedule::expand(key)?,
-        })
-    }
+        impl BlockCipher for $name {
+            #[inline]
+            fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+                match &self.inner {
+                    $inner::TTable(c) => c.encrypt_block(block),
+                    #[cfg(target_arch = "x86_64")]
+                    $inner::AesNi(c) => c.encrypt_block(block),
+                }
+            }
+
+            #[inline]
+            fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+                match &self.inner {
+                    $inner::TTable(c) => c.decrypt_block(block),
+                    #[cfg(target_arch = "x86_64")]
+                    $inner::AesNi(c) => c.decrypt_block(block),
+                }
+            }
+
+            #[inline]
+            fn encrypt_blocks(&self, data: &mut [u8]) {
+                assert_eq!(
+                    data.len() % AES_BLOCK_SIZE,
+                    0,
+                    "data must be 16-byte blocks"
+                );
+                match &self.inner {
+                    $inner::TTable(c) => {
+                        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+                            c.encrypt_block(block.try_into().expect("16-byte chunks"));
+                        }
+                    }
+                    #[cfg(target_arch = "x86_64")]
+                    $inner::AesNi(c) => c.encrypt_blocks(data),
+                }
+            }
+
+            #[inline]
+            fn decrypt_blocks(&self, data: &mut [u8]) {
+                assert_eq!(
+                    data.len() % AES_BLOCK_SIZE,
+                    0,
+                    "data must be 16-byte blocks"
+                );
+                match &self.inner {
+                    $inner::TTable(c) => {
+                        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+                            c.decrypt_block(block.try_into().expect("16-byte chunks"));
+                        }
+                    }
+                    #[cfg(target_arch = "x86_64")]
+                    $inner::AesNi(c) => c.decrypt_blocks(data),
+                }
+            }
+        }
+    };
 }
 
-impl BlockCipher for Aes256 {
-    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
-        encrypt_words(block, &self.keys.enc);
-    }
-
-    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
-        decrypt_words(block, &self.keys.dec);
-    }
-}
+dispatcher_impl!(Aes128, Aes128Inner, ttable::Aes128, aesni::Aes128Ni, 16);
+dispatcher_impl!(Aes256, Aes256Inner, ttable::Aes256, aesni::Aes256Ni, 32);
 
 #[cfg(test)]
 mod tests {
@@ -484,23 +377,6 @@ mod tests {
     fn gf_mul_known_products() {
         assert_eq!(gf_mul(0x57, 0x83), 0xc1);
         assert_eq!(gf_mul(0x57, 0x13), 0xfe);
-    }
-
-    #[test]
-    fn t_tables_are_consistent_rotations() {
-        for x in 0..256usize {
-            assert_eq!(TE1[x], TE0[x].rotate_right(8));
-            assert_eq!(TE2[x], TE0[x].rotate_right(16));
-            assert_eq!(TE3[x], TE0[x].rotate_right(24));
-            assert_eq!(TD1[x], TD0[x].rotate_right(8));
-            // The table entry must be the MixColumns image of (S[x],0,0,0).
-            let s = SBOX[x] as usize;
-            let expected = u32::from_be_bytes([MUL2[s], SBOX[x], SBOX[x], MUL3[s]]);
-            assert_eq!(TE0[x], expected);
-            let si = INV_SBOX[x] as usize;
-            let expected = u32::from_be_bytes([MUL14[si], MUL9[si], MUL13[si], MUL11[si]]);
-            assert_eq!(TD0[x], expected);
-        }
     }
 
     #[test]
@@ -643,30 +519,54 @@ mod tests {
         for len in [0usize, 15, 17, 24, 31, 33, 64] {
             let key = vec![0u8; len];
             if len != 16 {
-                assert_eq!(
-                    Aes128::from_slice(&key).err(),
-                    Some(CryptoError::BadKeyLength {
+                assert!(matches!(
+                    Aes128::from_slice(&key),
+                    Err(CryptoError::BadKeyLength {
                         expected: 16,
-                        got: len
-                    })
-                );
+                        got
+                    }) if got == len
+                ));
             }
             if len != 32 {
-                assert_eq!(
-                    Aes256::from_slice(&key).err(),
-                    Some(CryptoError::BadKeyLength {
+                assert!(matches!(
+                    Aes256::from_slice(&key),
+                    Err(CryptoError::BadKeyLength {
                         expected: 32,
-                        got: len
-                    })
-                );
+                        got
+                    }) if got == len
+                ));
             }
         }
     }
 
     #[test]
+    fn with_backend_rejects_wrong_lengths_on_every_backend() {
+        for b in [Backend::Portable, Backend::AesNi] {
+            if !b.is_available() {
+                continue;
+            }
+            assert!(matches!(
+                Aes256::with_backend(&[0u8; 31], b),
+                Err(CryptoError::BadKeyLength {
+                    expected: 32,
+                    got: 31
+                })
+            ));
+            assert!(matches!(
+                Aes128::with_backend(&[0u8; 17], b),
+                Err(CryptoError::BadKeyLength {
+                    expected: 16,
+                    got: 17
+                })
+            ));
+        }
+    }
+
+    #[test]
     fn matches_reference_implementation() {
-        // Pseudo-random keys/blocks; the exhaustive randomised comparison
-        // lives in tests/proptests.rs.
+        // Pseudo-random keys/blocks through the *active* backend; the
+        // exhaustive cross-backend comparison lives in tests/backends.rs and
+        // tests/proptests.rs.
         let mut x = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
             x ^= x << 13;
@@ -733,6 +633,45 @@ mod tests {
     }
 
     #[test]
+    fn batched_api_matches_per_block_api() {
+        // Both key sizes, every available backend, including an odd block
+        // count that exercises wide chunks plus remainder.
+        for b in [Backend::Portable, Backend::AesNi] {
+            if !b.is_available() {
+                continue;
+            }
+            let cipher = Aes256::with_backend(&[3u8; 32], b).unwrap();
+            let mut batched: Vec<u8> = (0..13 * 16).map(|i| (i * 7 % 256) as u8).collect();
+            let mut single = batched.clone();
+            cipher.encrypt_blocks(&mut batched);
+            for block in single.chunks_exact_mut(16) {
+                cipher.encrypt_block(block.try_into().unwrap());
+            }
+            assert_eq!(batched, single, "encrypt_blocks diverged on {}", b.name());
+            cipher.decrypt_blocks(&mut batched);
+            for block in single.chunks_exact_mut(16) {
+                cipher.decrypt_block(block.try_into().unwrap());
+            }
+            assert_eq!(batched, single, "decrypt_blocks diverged on {}", b.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16-byte blocks")]
+    fn batched_api_rejects_ragged_lengths() {
+        let cipher = Aes256::new(&[0u8; 32]);
+        let mut data = vec![0u8; 24];
+        cipher.encrypt_blocks(&mut data);
+    }
+
+    #[test]
+    fn backend_accessor_reports_construction_backend() {
+        let portable = Aes256::with_backend(&[0u8; 32], Backend::Portable).unwrap();
+        assert_eq!(portable.backend(), Backend::Portable);
+        assert_eq!(Aes256::new(&[0u8; 32]).backend(), backend::active());
+    }
+
+    #[test]
     fn blanket_impls_delegate() {
         let cipher = Aes256::new(&[5u8; 32]);
         let mut direct = [9u8; 16];
@@ -749,5 +688,13 @@ mod tests {
         assert_eq!(b, direct);
         via_arc.decrypt_block(&mut b);
         assert_eq!(b, [9u8; 16]);
+
+        // The batched methods must also delegate (not fall back to the trait
+        // defaults, which would bypass hardware pipelining through Arc).
+        let mut batched = vec![9u8; 32];
+        via_arc.encrypt_blocks(&mut batched);
+        assert_eq!(&batched[..16], &direct);
+        via_arc.decrypt_blocks(&mut batched);
+        assert_eq!(batched, vec![9u8; 32]);
     }
 }

@@ -1,0 +1,296 @@
+//! Runtime selection of the cryptographic backends.
+//!
+//! The crate ships two AES implementations (the portable fused-T-table cipher
+//! and an AES-NI one built on `aesenc`/`aesdec` intrinsics) and three SHA-256
+//! compression paths (scalar, an SSSE3-vectorised message schedule, and
+//! SHA-NI). Which one runs is decided **once per process** from CPU feature
+//! detection (`std::arch::is_x86_feature_detected!`) plus an environment
+//! override, and every `Aes128`/`Aes256`/`Sha256` constructed afterwards
+//! snapshots that choice. All backends are byte-for-byte equivalent — the
+//! cross-backend KAT and property suites enforce it — so the selection can
+//! never leak into ciphertexts, traces or attacker statistics; only wall-clock
+//! speed changes.
+//!
+//! ## Override
+//!
+//! `STEGFS_CRYPTO_BACKEND` controls the choice:
+//!
+//! * `auto` (or unset) — fastest detected path: AES-NI and SHA-NI/SSSE3 where
+//!   the CPU reports them, portable otherwise.
+//! * `portable` — the pure-Rust paths (T-table AES, scalar SHA-256)
+//!   everywhere, regardless of CPU support. Used by CI's cross-backend legs
+//!   and the `crypto_baseline` comparison section.
+//! * `aesni` — *require* the AES-NI path. If the CPU does not support it the
+//!   process panics at selection time instead of silently falling back, so a
+//!   benchmark labelled `aesni` is guaranteed to have measured hardware AES.
+//!   SHA-256 still uses the best detected path (SHA-NI, then SSSE3).
+//!
+//! Any other value is a hard error — a typo must not silently benchmark the
+//! wrong cipher.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// Which AES implementation executes block operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The pure-Rust fused-T-table cipher; compiled everywhere.
+    Portable,
+    /// Hardware AES via `aesenc`/`aesdec`/`aeskeygenassist` (x86-64 only).
+    AesNi,
+}
+
+/// Which SHA-256 compression-function path executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sha256Backend {
+    /// The pure-Rust FIPS 180-2 compression function; compiled everywhere.
+    Scalar,
+    /// Scalar rounds with an SSSE3-vectorised message schedule.
+    Ssse3,
+    /// Hardware compression via `sha256msg1`/`sha256msg2`/`sha256rnds2`.
+    ShaNi,
+}
+
+impl Backend {
+    /// Whether this backend can run on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Portable => true,
+            Backend::AesNi => aesni_detected(),
+        }
+    }
+
+    /// Stable lowercase name used in benchmark labels and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Portable => "portable",
+            Backend::AesNi => "aesni",
+        }
+    }
+}
+
+impl Sha256Backend {
+    /// Whether this backend can run on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            Sha256Backend::Scalar => true,
+            Sha256Backend::Ssse3 => ssse3_detected(),
+            Sha256Backend::ShaNi => shani_detected(),
+        }
+    }
+
+    /// Stable lowercase name used in benchmark labels and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sha256Backend::Scalar => "scalar",
+            Sha256Backend::Ssse3 => "ssse3",
+            Sha256Backend::ShaNi => "sha-ni",
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn aesni_detected() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn aesni_detected() -> bool {
+    false
+}
+
+/// SHA-NI compression also uses `palignr` (SSSE3) and `pblendw` (SSE4.1).
+#[cfg(target_arch = "x86_64")]
+fn shani_detected() -> bool {
+    std::arch::is_x86_feature_detected!("sha")
+        && std::arch::is_x86_feature_detected!("ssse3")
+        && std::arch::is_x86_feature_detected!("sse4.1")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn shani_detected() -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+fn ssse3_detected() -> bool {
+    std::arch::is_x86_feature_detected!("ssse3")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn ssse3_detected() -> bool {
+    false
+}
+
+// Encodings for the cached selections. 0 doubles as "not yet selected".
+const UNSET: u8 = 0;
+const AES_PORTABLE: u8 = 1;
+const AES_AESNI: u8 = 2;
+const SHA_SCALAR: u8 = 1;
+const SHA_SSSE3: u8 = 2;
+const SHA_SHANI: u8 = 3;
+
+static AES_ACTIVE: AtomicU8 = AtomicU8::new(UNSET);
+static SHA_ACTIVE: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The fastest available backends, honoring the environment override.
+fn resolve_from_env() -> (Backend, Sha256Backend) {
+    let requested = std::env::var("STEGFS_CRYPTO_BACKEND").unwrap_or_default();
+    match requested.as_str() {
+        "" | "auto" => (best_aes(), best_sha()),
+        "portable" => (Backend::Portable, Sha256Backend::Scalar),
+        "aesni" => {
+            assert!(
+                Backend::AesNi.is_available(),
+                "STEGFS_CRYPTO_BACKEND=aesni, but this CPU does not report AES-NI; \
+                 refusing to fall back silently (use auto or portable)"
+            );
+            (Backend::AesNi, best_sha())
+        }
+        other => panic!(
+            "unknown STEGFS_CRYPTO_BACKEND value {other:?} (expected auto, portable or aesni)"
+        ),
+    }
+}
+
+fn best_aes() -> Backend {
+    if Backend::AesNi.is_available() {
+        Backend::AesNi
+    } else {
+        Backend::Portable
+    }
+}
+
+fn best_sha() -> Sha256Backend {
+    if Sha256Backend::ShaNi.is_available() {
+        Sha256Backend::ShaNi
+    } else if Sha256Backend::Ssse3.is_available() {
+        Sha256Backend::Ssse3
+    } else {
+        Sha256Backend::Scalar
+    }
+}
+
+fn store(aes: Backend, sha: Sha256Backend) {
+    let aes_code = match aes {
+        Backend::Portable => AES_PORTABLE,
+        Backend::AesNi => AES_AESNI,
+    };
+    let sha_code = match sha {
+        Sha256Backend::Scalar => SHA_SCALAR,
+        Sha256Backend::Ssse3 => SHA_SSSE3,
+        Sha256Backend::ShaNi => SHA_SHANI,
+    };
+    AES_ACTIVE.store(aes_code, Ordering::Relaxed);
+    SHA_ACTIVE.store(sha_code, Ordering::Relaxed);
+}
+
+fn select_if_unset() {
+    if AES_ACTIVE.load(Ordering::Relaxed) == UNSET {
+        let (aes, sha) = resolve_from_env();
+        store(aes, sha);
+    }
+}
+
+/// The AES backend new [`crate::Aes128`]/[`crate::Aes256`] instances use.
+pub fn active() -> Backend {
+    select_if_unset();
+    match AES_ACTIVE.load(Ordering::Relaxed) {
+        AES_AESNI => Backend::AesNi,
+        _ => Backend::Portable,
+    }
+}
+
+/// The compression path new [`crate::Sha256`] instances use.
+pub fn sha256_active() -> Sha256Backend {
+    select_if_unset();
+    match SHA_ACTIVE.load(Ordering::Relaxed) {
+        SHA_SHANI => Sha256Backend::ShaNi,
+        SHA_SSSE3 => Sha256Backend::Ssse3,
+        _ => Sha256Backend::Scalar,
+    }
+}
+
+/// Name of the active AES backend: `"aesni"` or `"portable"`.
+pub fn backend_name() -> &'static str {
+    active().name()
+}
+
+/// Name of the active SHA-256 path: `"sha-ni"`, `"ssse3"` or `"scalar"`.
+pub fn sha256_backend_name() -> &'static str {
+    sha256_active().name()
+}
+
+/// Force the whole stack onto `backend` for every cipher and hasher
+/// constructed afterwards: `Portable` selects T-table AES + scalar SHA-256,
+/// `AesNi` selects hardware AES plus the best detected SHA-256 path.
+///
+/// Intended for benchmarks (the `crypto_baseline` forced-portable comparison
+/// section) and for the determinism suite, which asserts that experiment
+/// outputs are byte-identical across backends. Panics if `backend` is not
+/// available on this CPU — a forced-`AesNi` measurement must never silently
+/// run portable code. Instances created before the call keep their backend.
+pub fn force(backend: Backend) {
+    assert!(
+        backend.is_available(),
+        "cannot force crypto backend {:?}: not available on this CPU",
+        backend
+    );
+    match backend {
+        Backend::Portable => store(Backend::Portable, Sha256Backend::Scalar),
+        Backend::AesNi => store(Backend::AesNi, best_sha()),
+    }
+}
+
+/// Undo [`force`]: re-resolve from `STEGFS_CRYPTO_BACKEND` and CPU detection.
+pub fn force_auto() {
+    let (aes, sha) = resolve_from_env();
+    store(aes, sha);
+}
+
+/// Force only the SHA-256 compression path; AES selection is untouched.
+/// Panics if `backend` is not available. Used by cross-backend SHA-256/HMAC
+/// equivalence tests.
+pub fn force_sha256(backend: Sha256Backend) {
+    assert!(
+        backend.is_available(),
+        "cannot force SHA-256 backend {:?}: not available on this CPU",
+        backend
+    );
+    select_if_unset();
+    let code = match backend {
+        Sha256Backend::Scalar => SHA_SCALAR,
+        Sha256Backend::Ssse3 => SHA_SSSE3,
+        Sha256Backend::ShaNi => SHA_SHANI,
+    };
+    SHA_ACTIVE.store(code, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_is_always_available() {
+        assert!(Backend::Portable.is_available());
+        assert!(Sha256Backend::Scalar.is_available());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Backend::Portable.name(), "portable");
+        assert_eq!(Backend::AesNi.name(), "aesni");
+        assert_eq!(Sha256Backend::Scalar.name(), "scalar");
+        assert_eq!(Sha256Backend::Ssse3.name(), "ssse3");
+        assert_eq!(Sha256Backend::ShaNi.name(), "sha-ni");
+    }
+
+    #[test]
+    fn active_backend_is_available_and_named() {
+        let aes = active();
+        assert!(aes.is_available());
+        assert_eq!(backend_name(), aes.name());
+        let sha = sha256_active();
+        assert!(sha.is_available());
+        assert_eq!(sha256_backend_name(), sha.name());
+    }
+}

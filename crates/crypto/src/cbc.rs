@@ -78,6 +78,14 @@ impl<C: BlockCipher> CbcCipher<C> {
     }
 
     /// Decrypt `data` in place under `iv`.
+    ///
+    /// Unlike encryption, CBC decryption has no serial dependency between
+    /// blocks — every plaintext block is `D(c[i]) ^ c[i-1]` — so the bulk of
+    /// the buffer goes through [`BlockCipher::decrypt_blocks`] eight blocks
+    /// at a time (saving a copy of the ciphertext first, then applying the
+    /// XOR chain afterwards), which lets hardware backends keep their whole
+    /// pipeline full. Buffers shorter than eight blocks, and the tail, use
+    /// the per-block chained loop.
     pub fn decrypt_in_place(
         &self,
         iv: &[u8; AES_BLOCK_SIZE],
@@ -86,8 +94,30 @@ impl<C: BlockCipher> CbcCipher<C> {
         if data.len() % AES_BLOCK_SIZE != 0 {
             return Err(CbcError::NotBlockAligned { len: data.len() });
         }
+        const WIDE: usize = 8 * AES_BLOCK_SIZE;
         let mut chain = u128::from_ne_bytes(*iv);
-        for block in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+        let mut wide = data.chunks_exact_mut(WIDE);
+        for chunk in &mut wide {
+            let mut saved = [0u8; WIDE];
+            saved.copy_from_slice(chunk);
+            self.cipher.decrypt_blocks(chunk);
+            for (i, block) in chunk.chunks_exact_mut(AES_BLOCK_SIZE).enumerate() {
+                let block: &mut [u8; AES_BLOCK_SIZE] =
+                    block.try_into().expect("chunks_exact yields 16-byte lanes");
+                let prev = if i == 0 {
+                    chain
+                } else {
+                    u128::from_ne_bytes(
+                        saved[(i - 1) * AES_BLOCK_SIZE..i * AES_BLOCK_SIZE]
+                            .try_into()
+                            .expect("16-byte lane"),
+                    )
+                };
+                *block = (u128::from_ne_bytes(*block) ^ prev).to_ne_bytes();
+            }
+            chain = u128::from_ne_bytes(saved[WIDE - AES_BLOCK_SIZE..].try_into().expect("tail"));
+        }
+        for block in wide.into_remainder().chunks_exact_mut(AES_BLOCK_SIZE) {
             let block: &mut [u8; AES_BLOCK_SIZE] =
                 block.try_into().expect("chunks_exact yields 16-byte lanes");
             let ciphertext = u128::from_ne_bytes(*block);
@@ -207,6 +237,34 @@ mod tests {
         assert_eq!(err, CbcError::NotBlockAligned { len: 15 });
         let err = cbc.decrypt(&[0u8; 16], &[0u8; 17]).unwrap_err();
         assert_eq!(err, CbcError::NotBlockAligned { len: 17 });
+    }
+
+    #[test]
+    fn wide_decrypt_matches_serial_decrypt_at_every_length() {
+        // Lengths straddling the 8-block wide-path boundary: pure remainder,
+        // exactly one wide chunk, wide chunks plus remainder, many chunks.
+        let cbc = CbcCipher::new(Aes256::new(&[0xA5u8; 32]));
+        let iv = [0x3Cu8; 16];
+        for blocks in [0usize, 1, 7, 8, 9, 15, 16, 17, 255, 256] {
+            let plaintext: Vec<u8> = (0..blocks * 16).map(|i| (i % 241) as u8).collect();
+            let ciphertext = cbc.encrypt(&iv, &plaintext).unwrap();
+            // Serial oracle: the textbook one-block-at-a-time chain.
+            let mut serial = ciphertext.clone();
+            let mut chain = u128::from_ne_bytes(iv);
+            for block in serial.chunks_exact_mut(16) {
+                let block: &mut [u8; 16] = block.try_into().unwrap();
+                let ct = u128::from_ne_bytes(*block);
+                cbc.cipher().decrypt_block(block);
+                *block = (u128::from_ne_bytes(*block) ^ chain).to_ne_bytes();
+                chain = ct;
+            }
+            assert_eq!(serial, plaintext, "oracle broken at {blocks} blocks");
+            let decrypted = cbc.decrypt(&iv, &ciphertext).unwrap();
+            assert_eq!(
+                decrypted, plaintext,
+                "wide path diverged at {blocks} blocks"
+            );
+        }
     }
 
     #[test]

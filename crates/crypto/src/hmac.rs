@@ -6,9 +6,13 @@
 //! storage are derived from a logical address and a rebuild nonce
 //! (Section 5.1.2).
 
-use crate::sha256::{Sha256, SHA256_OUTPUT_SIZE};
+use crate::sha256::{compress_block, Sha256, SHA256_OUTPUT_SIZE};
 
 const BLOCK_SIZE: usize = 64;
+
+/// Longest message that fits a single padded SHA-256 block: 55 data bytes
+/// leave room for the mandatory 0x80 byte and the 8-byte length field.
+const SINGLE_BLOCK_MAX: usize = 55;
 
 /// Keyed HMAC-SHA-256 instance.
 ///
@@ -83,7 +87,41 @@ impl HmacSha256 {
     }
 
     /// [`HmacSha256::derive_u64`] against the precomputed key state.
+    ///
+    /// Messages of at most 55 bytes — every block-location derivation in the
+    /// system — take a fast path of exactly two compression calls on stack
+    /// buffers: one from the cached ipad state over the padded message, one
+    /// from the cached opad state over the padded inner digest. No hasher is
+    /// cloned and no incremental buffering runs; only the first 8 digest
+    /// bytes are ever serialised.
     pub fn derive_u64_with(&self, data: &[u8]) -> u64 {
+        if data.len() <= SINGLE_BLOCK_MAX {
+            let backend = self.inner0.backend();
+
+            // Inner hash: ipad (already compressed into `inner0`) ‖ message,
+            // padded to one block. Total hashed length is 64 + data.len().
+            let mut block = [0u8; BLOCK_SIZE];
+            block[..data.len()].copy_from_slice(data);
+            block[data.len()] = 0x80;
+            let bit_len = ((BLOCK_SIZE + data.len()) as u64) * 8;
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            let mut state = self.inner0.chaining_state();
+            compress_block(backend, &mut state, &block);
+
+            // Outer hash: opad (cached in `outer0`) ‖ 32-byte inner digest,
+            // again exactly one padded block (64 + 32 bytes hashed).
+            let mut block = [0u8; BLOCK_SIZE];
+            for (chunk, word) in block.chunks_exact_mut(4).zip(state) {
+                chunk.copy_from_slice(&word.to_be_bytes());
+            }
+            block[SHA256_OUTPUT_SIZE] = 0x80;
+            let bit_len = ((BLOCK_SIZE + SHA256_OUTPUT_SIZE) as u64) * 8;
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            let mut state = self.outer0.chaining_state();
+            compress_block(backend, &mut state, &block);
+
+            return ((state[0] as u64) << 32) | state[1] as u64;
+        }
         let mac = self.mac_with(data);
         u64::from_be_bytes([
             mac[0], mac[1], mac[2], mac[3], mac[4], mac[5], mac[6], mac[7],
@@ -213,6 +251,19 @@ mod tests {
             h.update(chunk);
         }
         assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn derive_u64_fast_path_matches_generic_mac() {
+        // Straddle the 55-byte single-block fast-path boundary; every length
+        // must agree with the full MAC truncated to its first 8 bytes.
+        let keyed = HmacSha256::new(b"fast path key");
+        for len in [0usize, 1, 8, 31, 54, 55, 56, 57, 120] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+            let mac = keyed.mac_with(&data);
+            let expected = u64::from_be_bytes(mac[..8].try_into().unwrap());
+            assert_eq!(keyed.derive_u64_with(&data), expected, "length {len}");
+        }
     }
 
     #[test]

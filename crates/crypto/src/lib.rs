@@ -26,11 +26,24 @@
 //! None of this code is intended to be side-channel hardened; it exists so the
 //! reproduction is self-contained and exercises the same data layout and key
 //! schedule costs as the paper's prototype.
+//!
+//! ## Backends
+//!
+//! AES and SHA-256 each have hardware paths (AES-NI; SHA-NI with an SSSE3
+//! fallback) selected once per process by the [`backend`] module from CPU
+//! feature detection plus the `STEGFS_CRYPTO_BACKEND` environment override.
+//! All backends are byte-for-byte equivalent; only throughput differs.
+//!
+//! `unsafe` is denied crate-wide and allowed in exactly two leaf modules (the
+//! AES-NI cipher and the x86 SHA-256 compressors), where every block is a
+//! `core::arch` intrinsic call guarded by runtime feature detection or an
+//! unaligned 16-byte load/store with caller-checked bounds.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aes;
+pub mod backend;
 mod cbc;
 mod drbg;
 mod hmac;
@@ -39,6 +52,7 @@ mod sha256;
 
 pub use aes::reference;
 pub use aes::{Aes128, Aes256, BlockCipher, AES_BLOCK_SIZE};
+pub use backend::{backend_name, sha256_backend_name, Backend, Sha256Backend};
 pub use cbc::{CbcCipher, CbcError};
 pub use drbg::HashDrbg;
 pub use hmac::HmacSha256;
@@ -60,6 +74,11 @@ pub enum CryptoError {
         /// Observed length in bytes.
         got: usize,
     },
+    /// An explicitly requested backend cannot run on this CPU.
+    BackendUnavailable {
+        /// The requested backend's [`Backend::name`].
+        backend: &'static str,
+    },
 }
 
 impl core::fmt::Display for CryptoError {
@@ -70,6 +89,9 @@ impl core::fmt::Display for CryptoError {
             }
             CryptoError::BadKeyLength { expected, got } => {
                 write!(f, "bad key length: expected {expected} bytes, got {got}")
+            }
+            CryptoError::BackendUnavailable { backend } => {
+                write!(f, "crypto backend {backend:?} is not available on this CPU")
             }
         }
     }

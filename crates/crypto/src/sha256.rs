@@ -1,4 +1,20 @@
-//! FIPS 180-2 SHA-256.
+//! FIPS 180-2 SHA-256, with runtime-dispatched compression backends.
+//!
+//! Three compression paths produce identical digests:
+//!
+//! * scalar — the portable FIPS 180-2 implementation; runs everywhere.
+//! * SSSE3 — the same scalar rounds fed by a vectorised message schedule
+//!   (σ0/σ1 over four lanes at a time, with a two-stage σ1 to resolve the
+//!   `w[i+2]`/`w[i+3]` dependency inside each group of four).
+//! * SHA-NI — hardware compression via `sha256rnds2`/`sha256msg1`/`sha256msg2`
+//!   (two rounds per instruction).
+//!
+//! Each [`Sha256`] instance snapshots the process-wide selection (see
+//! [`crate::backend`]) at construction, so a hasher's behaviour is fixed for
+//! its lifetime. [`HmacSha256`](crate::HmacSha256)'s precomputed ipad/opad
+//! states inherit whichever path was active when the MAC key was installed.
+
+use crate::backend::{self, Sha256Backend};
 
 /// Size of a SHA-256 digest in bytes.
 pub const SHA256_OUTPUT_SIZE: usize = 32;
@@ -18,6 +34,230 @@ const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// Run one 64-byte block through the compression function on `backend`.
+///
+/// This is the single funnel every path in the crate goes through —
+/// [`Sha256::update`], finalisation, and [`HmacSha256`](crate::HmacSha256)'s
+/// single-block `derive_u64` fast path.
+pub(crate) fn compress_block(backend: Sha256Backend, state: &mut [u32; 8], block: &[u8; 64]) {
+    match backend {
+        Sha256Backend::Scalar => compress_scalar(state, block),
+        #[cfg(target_arch = "x86_64")]
+        Sha256Backend::Ssse3 => x86::compress_ssse3(state, block),
+        #[cfg(target_arch = "x86_64")]
+        Sha256Backend::ShaNi => x86::compress_shani(state, block),
+        // Unreachable in practice: these backends never report available off
+        // x86-64, so selection cannot produce them. Scalar output is
+        // identical anyway.
+        #[cfg(not(target_arch = "x86_64"))]
+        Sha256Backend::Ssse3 | Sha256Backend::ShaNi => compress_scalar(state, block),
+    }
+}
+
+fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    rounds(state, &w);
+}
+
+/// The 64 compression rounds over an already-expanded message schedule.
+/// Shared by the scalar and SSSE3 paths (SSSE3 only vectorises the schedule).
+fn rounds(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// The x86-64 hardware compression paths. `unsafe` here is confined to
+/// `core::arch` intrinsics reached only through backends whose
+/// [`Sha256Backend::is_available`] detection passed, plus unaligned 16-byte
+/// loads/stores over arrays whose bounds are statically known.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{rounds, K};
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128, _mm_set_epi64x,
+        _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32, _mm_shuffle_epi32,
+        _mm_shuffle_epi8, _mm_slli_epi32, _mm_slli_si128, _mm_srli_epi32, _mm_srli_si128,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// `pshufb` mask flipping each 32-bit lane from big-endian message bytes
+    /// to native words.
+    #[target_feature(enable = "sse2")]
+    fn flip_mask() -> __m128i {
+        _mm_set_epi64x(
+            0x0c0d_0e0f_0809_0a0bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        )
+    }
+
+    /// σ0 over four lanes: `rotr7 ^ rotr18 ^ shr3`, with each rotate built
+    /// from a shift pair (the halves cannot overlap, so XOR equals OR).
+    #[target_feature(enable = "sse2")]
+    fn sigma0(v: __m128i) -> __m128i {
+        let r7 = _mm_xor_si128(_mm_srli_epi32(v, 7), _mm_slli_epi32(v, 25));
+        let r18 = _mm_xor_si128(_mm_srli_epi32(v, 18), _mm_slli_epi32(v, 14));
+        _mm_xor_si128(_mm_xor_si128(r7, r18), _mm_srli_epi32(v, 3))
+    }
+
+    /// σ1 over four lanes: `rotr17 ^ rotr19 ^ shr10`. Note σ1(0) = 0, which
+    /// the two-stage schedule below relies on.
+    #[target_feature(enable = "sse2")]
+    fn sigma1(v: __m128i) -> __m128i {
+        let r17 = _mm_xor_si128(_mm_srli_epi32(v, 17), _mm_slli_epi32(v, 15));
+        let r19 = _mm_xor_si128(_mm_srli_epi32(v, 19), _mm_slli_epi32(v, 13));
+        _mm_xor_si128(_mm_xor_si128(r17, r19), _mm_srli_epi32(v, 10))
+    }
+
+    /// Message-schedule expansion four words at a time. The recurrence's only
+    /// intra-group dependency is σ1: `w[i+2]`/`w[i+3]` need `w[i]`/`w[i+1]`,
+    /// so σ1 is applied in two stages — first to `(w[i-2], w[i-1], 0, 0)`,
+    /// finalising lanes 0–1, then to the partial result shifted up by two
+    /// lanes, finalising lanes 2–3 (σ1(0) = 0 leaves lanes 0–1 untouched).
+    #[target_feature(enable = "ssse3")]
+    fn schedule_ssse3(block: &[u8; 64]) -> [u32; 64] {
+        let flip = flip_mask();
+        let mut w = [0u32; 64];
+        for i in 0..4 {
+            // SAFETY: `block` holds 64 readable bytes, `w` holds 64 writable
+            // words; unaligned access is allowed by loadu/storeu.
+            unsafe {
+                let m = _mm_loadu_si128(block.as_ptr().add(16 * i).cast());
+                _mm_storeu_si128(w.as_mut_ptr().add(4 * i).cast(), _mm_shuffle_epi8(m, flip));
+            }
+        }
+        let mut i = 16;
+        while i < 64 {
+            // SAFETY: all four loads start at least 4 words before `i` ≤ 60,
+            // and the store writes w[i..i+4] with i + 4 ≤ 64.
+            unsafe {
+                let w16 = _mm_loadu_si128(w.as_ptr().add(i - 16).cast());
+                let w15 = _mm_loadu_si128(w.as_ptr().add(i - 15).cast());
+                let w7 = _mm_loadu_si128(w.as_ptr().add(i - 7).cast());
+                let w4 = _mm_loadu_si128(w.as_ptr().add(i - 4).cast());
+                let mut t = _mm_add_epi32(_mm_add_epi32(w16, sigma0(w15)), w7);
+                t = _mm_add_epi32(t, sigma1(_mm_srli_si128(w4, 8)));
+                t = _mm_add_epi32(t, sigma1(_mm_slli_si128(t, 8)));
+                _mm_storeu_si128(w.as_mut_ptr().add(i).cast(), t);
+            }
+            i += 4;
+        }
+        w
+    }
+
+    pub(super) fn compress_ssse3(state: &mut [u32; 8], block: &[u8; 64]) {
+        // SAFETY: this path is only selected when SSSE3 detection passed
+        // (`Sha256Backend::Ssse3.is_available()`).
+        let w = unsafe { schedule_ssse3(block) };
+        rounds(state, &w);
+    }
+
+    /// One block through the SHA extensions. State lives in two registers in
+    /// the `ABEF`/`CDGH` packing `sha256rnds2` expects; each loop iteration
+    /// retires four rounds (two per instruction) while `sha256msg1`/`msg2`
+    /// expand the next message group in flight.
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Repack (a,b,c,d)(e,f,g,h) into ABEF/CDGH.
+        // SAFETY: `state` holds 8 readable words.
+        let (lo, hi) = unsafe {
+            (
+                _mm_loadu_si128(state.as_ptr().cast()),
+                _mm_loadu_si128(state.as_ptr().add(4).cast()),
+            )
+        };
+        let tmp = _mm_shuffle_epi32(lo, 0xB1); // CDAB
+        let st1 = _mm_shuffle_epi32(hi, 0x1B); // EFGH
+        let mut state0 = _mm_alignr_epi8(tmp, st1, 8); // ABEF
+        let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
+
+        let flip = flip_mask();
+        let mut w = [_mm_set_epi64x(0, 0); 4];
+        for (i, lane) in w.iter_mut().enumerate() {
+            // SAFETY: `block` holds 64 readable bytes.
+            let m = unsafe { _mm_loadu_si128(block.as_ptr().add(16 * i).cast()) };
+            *lane = _mm_shuffle_epi8(m, flip);
+        }
+
+        let abef_save = state0;
+        let cdgh_save = state1;
+        for j in 0..16 {
+            // SAFETY: `K` holds 64 words; 4 * j + 4 ≤ 64.
+            let k = unsafe { _mm_loadu_si128(K.as_ptr().add(4 * j).cast()) };
+            let wk = _mm_add_epi32(w[j % 4], k);
+            state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(wk, 0x0E));
+            if j < 12 {
+                // w[4(j+4)..] = msg2(msg1(w_j, w_{j+1}) + alignr(w_{j+3},
+                // w_{j+2}, 4), w_{j+3}) — the full FIPS 180-2 recurrence.
+                let t = _mm_alignr_epi8(w[(j + 3) % 4], w[(j + 2) % 4], 4);
+                w[j % 4] = _mm_sha256msg2_epu32(
+                    _mm_add_epi32(_mm_sha256msg1_epu32(w[j % 4], w[(j + 1) % 4]), t),
+                    w[(j + 3) % 4],
+                );
+            }
+        }
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+
+        // Unpack ABEF/CDGH back to (a..d)(e..h).
+        let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        let st1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        let out_lo = _mm_blend_epi16(tmp, st1, 0xF0); // DCBA
+        let out_hi = _mm_alignr_epi8(st1, tmp, 8); // HGFE
+                                                   // SAFETY: `state` holds 8 writable words.
+        unsafe {
+            _mm_storeu_si128(state.as_mut_ptr().cast(), out_lo);
+            _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out_hi);
+        }
+    }
+
+    pub(super) fn compress_shani(state: &mut [u32; 8], block: &[u8; 64]) {
+        // SAFETY: this path is only selected when SHA-NI detection passed
+        // (`Sha256Backend::ShaNi.is_available()` checks sha + ssse3 + sse4.1).
+        unsafe { compress(state, block) }
+    }
+}
+
 /// Incremental SHA-256 hasher.
 ///
 /// ```
@@ -33,6 +273,7 @@ pub struct Sha256 {
     buffer: [u8; 64],
     buffer_len: usize,
     total_len: u64,
+    backend: Sha256Backend,
 }
 
 impl Default for Sha256 {
@@ -42,14 +283,43 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// Create a fresh hasher.
+    /// Create a fresh hasher on the active backend (see [`crate::backend`]).
     pub fn new() -> Self {
+        Self::with_backend(backend::sha256_active())
+    }
+
+    /// Create a hasher on an explicitly chosen compression path. Used by the
+    /// cross-backend equivalence suites; production code should use
+    /// [`Self::new`] and the process-wide selection.
+    ///
+    /// # Panics
+    /// Panics if `backend` is not available on this CPU.
+    pub fn with_backend(backend: Sha256Backend) -> Self {
+        assert!(
+            backend.is_available(),
+            "SHA-256 backend {:?} is not available on this CPU",
+            backend
+        );
         Self {
             state: H0,
             buffer: [0u8; 64],
             buffer_len: 0,
             total_len: 0,
+            backend,
         }
+    }
+
+    /// Which compression path this hasher snapshotted at construction.
+    pub fn backend(&self) -> Sha256Backend {
+        self.backend
+    }
+
+    /// The current chaining state. Only meaningful at a 64-byte boundary
+    /// (`buffer_len == 0`); the HMAC fast path relies on exactly that after
+    /// absorbing the one-block ipad/opad.
+    pub(crate) fn chaining_state(&self) -> [u32; 8] {
+        debug_assert_eq!(self.buffer_len, 0, "state read mid-block");
+        self.state
     }
 
     /// Absorb `data` into the hash state.
@@ -111,49 +381,7 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        compress_block(self.backend, &mut self.state, block);
     }
 }
 
@@ -172,6 +400,17 @@ mod tests {
         digest.iter().map(|b| format!("{b:02x}")).collect()
     }
 
+    fn available_backends() -> Vec<Sha256Backend> {
+        [
+            Sha256Backend::Scalar,
+            Sha256Backend::Ssse3,
+            Sha256Backend::ShaNi,
+        ]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+    }
+
     #[test]
     fn empty_string() {
         assert_eq!(
@@ -186,6 +425,20 @@ mod tests {
             hex(&sha256(b"abc")),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
+    }
+
+    #[test]
+    fn fips_vector_abc_on_every_backend() {
+        for b in available_backends() {
+            let mut h = Sha256::with_backend(b);
+            h.update(b"abc");
+            assert_eq!(
+                hex(&h.finalize()),
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+                "backend {}",
+                b.name()
+            );
+        }
     }
 
     #[test]
@@ -233,6 +486,25 @@ mod tests {
                 h.update(core::slice::from_ref(b));
             }
             assert_eq!(h.finalize(), d1, "length {len}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_many_lengths() {
+        let backends = available_backends();
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 % 257) as u8).collect();
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 128, 500, 1024] {
+            let digests: Vec<_> = backends
+                .iter()
+                .map(|&b| {
+                    let mut h = Sha256::with_backend(b);
+                    h.update(&data[..len]);
+                    h.finalize()
+                })
+                .collect();
+            for (d, b) in digests.iter().zip(&backends) {
+                assert_eq!(d, &digests[0], "backend {} diverged at {len}", b.name());
+            }
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Cross-backend equivalence: every compiled-in AES and SHA-256 backend must
+//! produce byte-identical output on the standard vectors (FIPS-197,
+//! SP 800-38A, RFC 4231) and on structured bulk data. The randomized
+//! counterpart lives in `tests/proptests.rs`; this suite pins the named
+//! vectors per backend so a single failing backend is identified by name.
+
+use stegfs_crypto::{
+    backend_name, sha256_backend_name, Aes128, Aes256, Backend, BlockCipher, CbcCipher,
+    CryptoError, HmacSha256, Sha256, Sha256Backend,
+};
+
+fn hex_to_bytes(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn aes_backends() -> Vec<Backend> {
+    [Backend::Portable, Backend::AesNi]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+fn sha_backends() -> Vec<Sha256Backend> {
+    [
+        Sha256Backend::Scalar,
+        Sha256Backend::Ssse3,
+        Sha256Backend::ShaNi,
+    ]
+    .into_iter()
+    .filter(|b| b.is_available())
+    .collect()
+}
+
+#[test]
+fn fips197_kats_on_every_backend() {
+    let key128: [u8; 16] = hex_to_bytes("000102030405060708090a0b0c0d0e0f")
+        .try_into()
+        .unwrap();
+    let key256: Vec<u8> =
+        hex_to_bytes("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+    let plaintext: [u8; 16] = hex_to_bytes("00112233445566778899aabbccddeeff")
+        .try_into()
+        .unwrap();
+    for b in aes_backends() {
+        // FIPS-197 Appendix C.1 (AES-128).
+        let cipher = Aes128::with_backend(&key128, b).unwrap();
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            hex(&block),
+            "69c4e0d86a7b0430d8cdb78070b4c55a",
+            "C.1 encrypt on {}",
+            b.name()
+        );
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext, "C.1 decrypt on {}", b.name());
+
+        // FIPS-197 Appendix C.3 (AES-256).
+        let cipher = Aes256::with_backend(&key256, b).unwrap();
+        let mut block = plaintext;
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            hex(&block),
+            "8ea2b7ca516745bfeafc49904b496089",
+            "C.3 encrypt on {}",
+            b.name()
+        );
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, plaintext, "C.3 decrypt on {}", b.name());
+    }
+}
+
+#[test]
+fn sp800_38a_cbc_aes256_on_every_backend() {
+    // NIST SP 800-38A F.2.5 / F.2.6, all four blocks.
+    let key: Vec<u8> =
+        hex_to_bytes("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+    let iv: [u8; 16] = hex_to_bytes("000102030405060708090a0b0c0d0e0f")
+        .try_into()
+        .unwrap();
+    let plaintext = hex_to_bytes(
+        "6bc1bee22e409f96e93d7e117393172a\
+         ae2d8a571e03ac9c9eb76fac45af8e51\
+         30c81c46a35ce411e5fbc1191a0a52ef\
+         f69f2445df4f9b17ad2b417be66c3710",
+    );
+    let expected = hex_to_bytes(
+        "f58c4c04d6e5f1ba779eabfb5f7bfbd6\
+         9cfc4e967edb808d679f777bc6702c7d\
+         39f23369a9d9bacfa530e26304231461\
+         b2eb05e2c39be9fcda6c19078c6a9d1b",
+    );
+    for b in aes_backends() {
+        let cbc = CbcCipher::new(Aes256::with_backend(&key, b).unwrap());
+        let ciphertext = cbc.encrypt(&iv, &plaintext).unwrap();
+        assert_eq!(ciphertext, expected, "F.2.5 on {}", b.name());
+        let decrypted = cbc.decrypt(&iv, &ciphertext).unwrap();
+        assert_eq!(decrypted, plaintext, "F.2.6 on {}", b.name());
+    }
+}
+
+#[test]
+fn backends_agree_on_bulk_cbc_payloads() {
+    // A full 4080-byte data field (the codec's CBC payload) plus odd sizes
+    // that exercise the 8-wide decrypt path and its remainder handling.
+    let backends = aes_backends();
+    let key = [0x5Au8; 32];
+    let iv = [0x99u8; 16];
+    for len in [16usize, 112, 128, 144, 4080] {
+        let plaintext: Vec<u8> = (0..len).map(|i| (i * 131 % 256) as u8).collect();
+        let outputs: Vec<Vec<u8>> = backends
+            .iter()
+            .map(|&b| {
+                let cbc = CbcCipher::new(Aes256::with_backend(&key, b).unwrap());
+                let ct = cbc.encrypt(&iv, &plaintext).unwrap();
+                let rt = cbc.decrypt(&iv, &ct).unwrap();
+                assert_eq!(rt, plaintext, "roundtrip on {} at {len}", b.name());
+                ct
+            })
+            .collect();
+        for (ct, b) in outputs.iter().zip(&backends) {
+            assert_eq!(ct, &outputs[0], "{} diverged at {len} bytes", b.name());
+        }
+    }
+}
+
+#[test]
+fn rfc4231_vectors_on_every_sha_backend() {
+    // RFC 4231 test cases 1, 2 and 6 (short key, short message; long key).
+    let cases: [(&[u8], &[u8], &str); 3] = [
+        (
+            &[0x0bu8; 20],
+            b"Hi There",
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        ),
+        (
+            b"Jefe",
+            b"what do ya want for nothing?",
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        ),
+        (
+            &[0xaau8; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        ),
+    ];
+    for b in sha_backends() {
+        stegfs_crypto::backend::force_sha256(b);
+        for (key, msg, expected) in cases {
+            assert_eq!(
+                hex(&HmacSha256::mac(key, msg)),
+                expected,
+                "RFC 4231 on {}",
+                b.name()
+            );
+            // The derive_u64 fast path must agree with the full MAC.
+            let mac = HmacSha256::mac(key, msg);
+            let expected_u64 = u64::from_be_bytes(mac[..8].try_into().unwrap());
+            assert_eq!(
+                HmacSha256::new(key).derive_u64_with(msg),
+                expected_u64,
+                "derive_u64 fast path on {}",
+                b.name()
+            );
+        }
+    }
+    stegfs_crypto::backend::force_auto();
+}
+
+#[test]
+fn sha_backends_agree_on_structured_data() {
+    let backends = sha_backends();
+    let data: Vec<u8> = (0..8192u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    for len in [0usize, 1, 55, 56, 64, 65, 127, 128, 1000, 8192] {
+        let digests: Vec<_> = backends
+            .iter()
+            .map(|&b| {
+                let mut h = Sha256::with_backend(b);
+                h.update(&data[..len]);
+                h.finalize()
+            })
+            .collect();
+        for (d, b) in digests.iter().zip(&backends) {
+            assert_eq!(d, &digests[0], "{} diverged at {len} bytes", b.name());
+        }
+    }
+}
+
+#[test]
+fn unavailable_backend_is_a_typed_error() {
+    // Either AES-NI is available (constructing works) or requesting it is the
+    // typed BackendUnavailable error — never a silent fallback.
+    match Aes256::with_backend(&[0u8; 32], Backend::AesNi) {
+        Ok(cipher) => {
+            assert!(Backend::AesNi.is_available());
+            assert_eq!(cipher.backend(), Backend::AesNi);
+        }
+        Err(CryptoError::BackendUnavailable { backend }) => {
+            assert!(!Backend::AesNi.is_available());
+            assert_eq!(backend, "aesni");
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn backend_names_report_active_selection() {
+    let aes = backend_name();
+    assert!(aes == "portable" || aes == "aesni", "unexpected name {aes}");
+    let sha = sha256_backend_name();
+    assert!(
+        sha == "scalar" || sha == "ssse3" || sha == "sha-ni",
+        "unexpected name {sha}"
+    );
+    // The names must be consistent with what detection allows.
+    if aes == "aesni" {
+        assert!(Backend::AesNi.is_available());
+    }
+}

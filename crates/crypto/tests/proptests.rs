@@ -2,7 +2,28 @@
 
 use proptest::prelude::*;
 
-use stegfs_crypto::{Aes128, Aes256, BlockCipher, CbcCipher, HashDrbg, HmacSha256, Key256, Sha256};
+use stegfs_crypto::{
+    Aes128, Aes256, Backend, BlockCipher, CbcCipher, HashDrbg, HmacSha256, Key256, Sha256,
+    Sha256Backend,
+};
+
+fn aes_backends() -> Vec<Backend> {
+    [Backend::Portable, Backend::AesNi]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+fn sha_backends() -> Vec<Sha256Backend> {
+    [
+        Sha256Backend::Scalar,
+        Sha256Backend::Ssse3,
+        Sha256Backend::ShaNi,
+    ]
+    .into_iter()
+    .filter(|b| b.is_available())
+    .collect()
+}
 
 proptest! {
     /// The word-oriented T-table AES agrees with the byte-oriented reference
@@ -124,6 +145,120 @@ proptest! {
             got.extend(b.bytes(s));
         }
         prop_assert_eq!(got, expected);
+    }
+
+    /// Every available AES backend (plus the byte-oriented reference) gives
+    /// byte-identical ECB output in both directions, for both key sizes, on
+    /// random keys and multi-block buffers — so runtime backend selection can
+    /// never change what lands on disk.
+    #[test]
+    fn aes_backends_are_byte_identical(
+        key in any::<[u8; 32]>(),
+        blocks in 1usize..20,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..blocks * 16).map(|i| seed.wrapping_add(i as u8)).collect();
+        let reference = stegfs_crypto::reference::Aes256::new(&key);
+        let mut expected = data.clone();
+        for block in expected.chunks_exact_mut(16) {
+            reference.encrypt_block(block.try_into().unwrap());
+        }
+        for b in aes_backends() {
+            let cipher = Aes256::with_backend(&key, b).unwrap();
+            let mut got = data.clone();
+            cipher.encrypt_blocks(&mut got);
+            prop_assert_eq!(&got, &expected, "encrypt on {}", b.name());
+            cipher.decrypt_blocks(&mut got);
+            prop_assert_eq!(&got, &data, "decrypt on {}", b.name());
+        }
+
+        let key128: [u8; 16] = key[..16].try_into().unwrap();
+        let ref128 = stegfs_crypto::reference::Aes128::new(&key128);
+        let mut expected = data.clone();
+        for block in expected.chunks_exact_mut(16) {
+            ref128.encrypt_block(block.try_into().unwrap());
+        }
+        for b in aes_backends() {
+            let cipher = Aes128::with_backend(&key128, b).unwrap();
+            let mut got = data.clone();
+            cipher.encrypt_blocks(&mut got);
+            prop_assert_eq!(&got, &expected, "encrypt (128) on {}", b.name());
+            cipher.decrypt_blocks(&mut got);
+            prop_assert_eq!(&got, &data, "decrypt (128) on {}", b.name());
+        }
+    }
+
+    /// CBC ciphertexts are byte-identical across backends for random keys,
+    /// IVs and payload sizes (including sizes exercising the 8-wide decrypt
+    /// path and its remainder), and every backend decrypts every other
+    /// backend's ciphertext.
+    #[test]
+    fn cbc_backends_are_byte_identical(
+        key in any::<[u8; 32]>(),
+        iv in any::<[u8; 16]>(),
+        blocks in 1usize..24,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..blocks * 16).map(|i| seed.wrapping_mul(i as u8)).collect();
+        let backends = aes_backends();
+        let ciphertexts: Vec<Vec<u8>> = backends
+            .iter()
+            .map(|&b| {
+                CbcCipher::new(Aes256::with_backend(&key, b).unwrap())
+                    .encrypt(&iv, &data)
+                    .unwrap()
+            })
+            .collect();
+        for (ct, b) in ciphertexts.iter().zip(&backends) {
+            prop_assert_eq!(ct, &ciphertexts[0], "encrypt diverged on {}", b.name());
+        }
+        for &b in &backends {
+            let cbc = CbcCipher::new(Aes256::with_backend(&key, b).unwrap());
+            prop_assert_eq!(
+                cbc.decrypt(&iv, &ciphertexts[0]).unwrap(),
+                data.clone(),
+                "decrypt diverged on {}",
+                b.name()
+            );
+        }
+    }
+
+    /// SHA-256 digests and HMAC MACs (including the truncated derive_u64
+    /// fast path) are byte-identical across every available compression
+    /// backend for random messages and keys.
+    #[test]
+    fn sha_and_hmac_backends_are_byte_identical(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let backends = sha_backends();
+        let digests: Vec<_> = backends
+            .iter()
+            .map(|&b| {
+                let mut h = Sha256::with_backend(b);
+                h.update(&msg);
+                h.finalize()
+            })
+            .collect();
+        for (d, b) in digests.iter().zip(&backends) {
+            prop_assert_eq!(d, &digests[0], "sha256 diverged on {}", b.name());
+        }
+
+        for &b in &backends {
+            stegfs_crypto::backend::force_sha256(b);
+            let mac = HmacSha256::mac(&key, &msg);
+            let derived = HmacSha256::new(&key).derive_u64_with(&msg);
+            stegfs_crypto::backend::force_auto();
+            let expected = u64::from_be_bytes(mac[..8].try_into().unwrap());
+            prop_assert_eq!(derived, expected, "derive_u64 diverged on {}", b.name());
+            let reference_mac = {
+                stegfs_crypto::backend::force_sha256(Sha256Backend::Scalar);
+                let m = HmacSha256::mac(&key, &msg);
+                stegfs_crypto::backend::force_auto();
+                m
+            };
+            prop_assert_eq!(mac, reference_mac, "hmac diverged on {}", b.name());
+        }
     }
 
     /// Derived sub-keys never equal their parent or each other for distinct

@@ -130,6 +130,13 @@ impl BlockCodec {
     /// re-encrypt the identical plaintext, write back. Section 4.1.3:
     /// "the agent reads in the selected block, decrypts it, assigns a new
     /// random number to its IV, re-encrypts it, and then writes it back."
+    ///
+    /// The whole round trip runs in one physical-block buffer: the data field
+    /// is decrypted in place (hitting the cipher's pipelined wide-decrypt
+    /// path), the IV is replaced, and the same bytes are re-encrypted in
+    /// place — no separate plaintext allocation, and the identical single IV
+    /// draw from `rng` as the seal/open formulation, so replay determinism
+    /// is unchanged.
     pub fn reseal<D: BlockDevice + ?Sized>(
         &self,
         device: &D,
@@ -137,8 +144,17 @@ impl BlockCodec {
         key: &Key256,
         rng: &mut HashDrbg,
     ) -> Result<(), FsError> {
-        let plaintext = self.read_sealed(device, block, key)?;
-        self.write_sealed(device, block, key, &plaintext, rng)
+        let mut physical = vec![0u8; self.block_size];
+        device.read_block(block, &mut physical)?;
+        let mut iv = [0u8; IV_SIZE];
+        iv.copy_from_slice(&physical[..IV_SIZE]);
+        let cbc = CbcCipher::new(self.schedules.get(key));
+        cbc.decrypt_in_place(&iv, &mut physical[IV_SIZE..])?;
+        rng.fill_bytes(&mut iv);
+        physical[..IV_SIZE].copy_from_slice(&iv);
+        cbc.encrypt_in_place(&iv, &mut physical[IV_SIZE..])?;
+        device.write_block(block, &physical)?;
+        Ok(())
     }
 
     /// Write-ordered relocating reseal: open `from`, seal its plaintext under
@@ -251,6 +267,34 @@ mod tests {
 
         let opened = c.read_sealed(&dev, 3, &key(9)).unwrap();
         assert_eq!(&opened[..14], b"hidden payload");
+    }
+
+    #[test]
+    fn in_place_reseal_is_byte_identical_to_open_then_seal() {
+        // The single-buffer reseal must produce exactly the bytes the
+        // open-then-seal formulation would, from the same DRBG state —
+        // replayed benches and the determinism suite depend on it.
+        let c = codec();
+        let dev_a = MemDevice::new(4, 4096);
+        let dev_b = MemDevice::new(4, 4096);
+        let mut rng = HashDrbg::from_u64(42);
+        let sealed = c.seal(&key(6), b"same bytes either way", &mut rng).unwrap();
+        dev_a.write_block(2, &sealed).unwrap();
+        dev_b.write_block(2, &sealed).unwrap();
+
+        let mut rng_a = HashDrbg::from_u64(77);
+        c.reseal(&dev_a, 2, &key(6), &mut rng_a).unwrap();
+
+        let mut rng_b = HashDrbg::from_u64(77);
+        let plaintext = c.read_sealed(&dev_b, 2, &key(6)).unwrap();
+        c.write_sealed(&dev_b, 2, &key(6), &plaintext, &mut rng_b)
+            .unwrap();
+
+        let mut a = vec![0u8; 4096];
+        let mut b = vec![0u8; 4096];
+        dev_a.read_block(2, &mut a).unwrap();
+        dev_b.read_block(2, &mut b).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -98,6 +98,36 @@ fn security_analysis_trace_is_bit_for_bit_reproducible() {
     );
 }
 
+/// Backend choice must never leak into experiment outputs: the fig12a sweep
+/// and the security_analysis read trace must be byte-identical whether the
+/// crypto stack runs its portable paths (T-table AES, scalar SHA-256) or the
+/// hardware paths auto-detection picks (AES-NI, SHA-NI/SSSE3). This is the
+/// cross-backend analogue of the in-process double runs above — an attacker
+/// observing traces, and a reviewer replaying committed bench numbers, must
+/// see the same bytes on every host.
+#[test]
+fn experiment_outputs_are_backend_invariant() {
+    use stegfs_repro::crypto::backend;
+
+    backend::force(backend::Backend::Portable);
+    let portable_fig12 = fig12_point_rendered();
+    let portable_trace = oblivious_read_trace(120);
+
+    backend::force_auto();
+    let auto_fig12 = fig12_point_rendered();
+    let auto_trace = oblivious_read_trace(120);
+
+    assert_eq!(
+        portable_fig12, auto_fig12,
+        "fig12a point must not depend on the crypto backend"
+    );
+    assert!(!portable_trace.is_empty());
+    assert_eq!(
+        portable_trace, auto_trace,
+        "security_analysis read positions must not depend on the crypto backend"
+    );
+}
+
 /// The concurrent serving layer in single-threaded mode
 /// (`STEGFS_BENCH_THREADS=1` on the bins, `threads = 1` on the driver) must
 /// remain bit-for-bit deterministic: one worker round-robins the tasks in
