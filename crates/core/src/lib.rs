@@ -42,6 +42,7 @@ mod registry;
 mod stats;
 mod update;
 mod volatile;
+mod volatile_concurrent;
 
 pub use concurrent::{ConcurrentAgent, VictimSource};
 pub use config::AgentConfig;
@@ -51,3 +52,4 @@ pub use registry::{BlockRole, FileId, Registry};
 pub use stats::{SharedUpdateStats, UpdateStats};
 pub use update::UpdateOutcome;
 pub use volatile::{SessionId, UserCredential, VolatileAgent};
+pub use volatile_concurrent::ConcurrentVolatileAgent;

@@ -7,6 +7,11 @@
 //! starts it has zero knowledge of the volume; its view — and therefore the
 //! region of storage it dummy-updates — grows as users log in, and is
 //! forgotten again at logout or restart.
+//!
+//! This module's agent is single-threaded (`&mut self` throughout); the
+//! multi-user server variant with the decomposed locking scheme lives in
+//! [`ConcurrentVolatileAgent`](crate::volatile_concurrent::ConcurrentVolatileAgent),
+//! which serves the same provisioned volumes.
 
 use std::collections::HashMap;
 

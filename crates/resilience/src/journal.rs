@@ -34,7 +34,11 @@
 //!   in-flight entry by its plaintext digests (forward if any new image
 //!   landed, backward otherwise, via single-unknown parity solves), and
 //!   stops — entries past the frontier never started. Batching amortises the
-//!   one journal write over every block of the operation.
+//!   one journal write over every block of the operation. The record's tail
+//!   ([`SHADOW_ENTRY_BASE`]-offset, parity-less entries) covers the shadow
+//!   stripe-map rewrite that closes each chunk: recovery re-derives the map
+//!   from the resolved frontier and rewrites the shadow unless its on-disk
+//!   blocks already verify against it.
 //! * **Repair** — repair is idempotent, so the record is a pure redo marker:
 //!   recovery re-verifies and re-repairs the whole file.
 //!
@@ -45,6 +49,17 @@
 //! among valid records for the same path every record except the highest
 //! op-id is necessarily complete. [`ResilientStore::open`] scans the slots,
 //! recovers the highest record per path, then randomizes every slot.
+//!
+//! **Slot replication.** A slot block is itself a single point of loss: a
+//! zeroed or bit-rotted slot silently orphans an in-flight intent, and
+//! recovery would see "no intent" where a cut mid-operation needs one.
+//! Consecutive slot blocks therefore form *pairs* holding one logical slot:
+//! `begin` seals the same record into both blocks of the pair (two
+//! independent seals, so the two ciphertexts share no bytes and the mirror is
+//! not a visible twin), and the scan accepts whichever copy authenticates —
+//! preferring the higher op-id when a torn rewrite leaves the two copies
+//! holding different (both certainly-valid) records. Losing either block of
+//! a pair costs nothing; only losing both degrades to the pre-PR state.
 //!
 //! [`ResilientStore::open`]: crate::ResilientStore::open
 
@@ -64,6 +79,7 @@ const MAC_LEN: usize = 16;
 const KIND_CREATE: u8 = 1;
 const KIND_WRITE_BATCH: u8 = 2;
 const KIND_REPAIR: u8 = 3;
+const KIND_REGISTRY_CHECKPOINT: u8 = 4;
 
 /// Pre/post integrity checks and the location of one parity row touched by a
 /// journaled delta update.
@@ -76,6 +92,13 @@ pub struct ParityIntent {
     /// Checks of the parity plaintext after the update.
     pub post: BlockCheck,
 }
+
+/// Entry indices at or above this value address the file's *shadow* stripe
+/// map rather than its content: `SHADOW_ENTRY_BASE + i` is shadow content
+/// block `i`. Shadow entries carry no parity rows and always form the tail
+/// of a `WriteBatch` record, mirroring the write order of the operation
+/// (data and parity first, the single shadow rewrite last).
+pub const SHADOW_ENTRY_BASE: u64 = 1 << 63;
 
 /// One block of a journaled delta update: pre/post checks for the content
 /// block and every parity row of its stripe. For entries sharing a stripe,
@@ -110,6 +133,16 @@ pub enum IntentBody {
     },
     /// Re-verify and re-repair the whole file (idempotent redo marker).
     Repair,
+    /// A registry shard checkpoint is switching its live segment to the one
+    /// holding `generation`. Commit point is the shard's head-cell flip:
+    /// recovery keeps whichever segment the head cell names and randomises
+    /// the other, so a cut mid-checkpoint resolves to clean old-or-new.
+    RegistryCheckpoint {
+        /// Registry shard being checkpointed.
+        shard: u32,
+        /// Generation the new segment carries.
+        generation: u64,
+    },
 }
 
 /// One sealed journal record.
@@ -135,23 +168,31 @@ impl IntentRecord {
             IntentBody::Create => out.push(KIND_CREATE),
             IntentBody::WriteBatch { .. } => out.push(KIND_WRITE_BATCH),
             IntentBody::Repair => out.push(KIND_REPAIR),
+            IntentBody::RegistryCheckpoint { .. } => out.push(KIND_REGISTRY_CHECKPOINT),
         }
         out.extend_from_slice(&(self.path.len() as u16).to_le_bytes());
         out.extend_from_slice(self.path.as_bytes());
-        if let IntentBody::WriteBatch { entries } = &self.body {
-            out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
-            for e in entries {
-                out.extend_from_slice(&e.index.to_le_bytes());
-                out.extend_from_slice(&e.data_location.to_le_bytes());
-                e.data_pre.encode_into(&mut out);
-                e.data_post.encode_into(&mut out);
-                out.push(e.parity.len() as u8);
-                for p in &e.parity {
-                    out.extend_from_slice(&p.location.to_le_bytes());
-                    p.pre.encode_into(&mut out);
-                    p.post.encode_into(&mut out);
+        match &self.body {
+            IntentBody::WriteBatch { entries } => {
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for e in entries {
+                    out.extend_from_slice(&e.index.to_le_bytes());
+                    out.extend_from_slice(&e.data_location.to_le_bytes());
+                    e.data_pre.encode_into(&mut out);
+                    e.data_post.encode_into(&mut out);
+                    out.push(e.parity.len() as u8);
+                    for p in &e.parity {
+                        out.extend_from_slice(&p.location.to_le_bytes());
+                        p.pre.encode_into(&mut out);
+                        p.post.encode_into(&mut out);
+                    }
                 }
             }
+            IntentBody::RegistryCheckpoint { shard, generation } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&generation.to_le_bytes());
+            }
+            IntentBody::Create | IntentBody::Repair => {}
         }
         let tag = mac.mac_with(&out);
         out.extend_from_slice(&tag[..MAC_LEN]);
@@ -213,6 +254,16 @@ impl IntentRecord {
                 }
                 IntentBody::WriteBatch { entries }
             }
+            KIND_REGISTRY_CHECKPOINT => {
+                let start = off;
+                off = need(off, 4 + 8)?;
+                IntentBody::RegistryCheckpoint {
+                    shard: u32::from_le_bytes(plain[start..start + 4].try_into().unwrap()),
+                    generation: u64::from_le_bytes(
+                        plain[start + 4..start + 12].try_into().unwrap(),
+                    ),
+                }
+            }
             _ => return None,
         };
         let tag = mac.mac_with(&plain[..off]);
@@ -225,9 +276,13 @@ impl IntentRecord {
 
 /// The slot pool and keys of a volume's intent journal. An empty slot list
 /// means journaling is disabled (the store runs exactly as before PR 8).
+///
+/// Consecutive blocks of the slot list form replicated pairs: blocks `2i`
+/// and `2i + 1` both hold logical slot `i`'s record. An odd trailing block
+/// (a legacy single-copy pool) is a logical slot with no mirror.
 pub struct IntentJournal {
     slots: Vec<BlockId>,
-    /// Indices into `slots` currently free for new intents.
+    /// Indices of *logical* slots currently free for new intents.
     free: Mutex<Vec<usize>>,
     op_counter: AtomicU64,
     seal_key: Key256,
@@ -236,11 +291,14 @@ pub struct IntentJournal {
 
 impl IntentJournal {
     /// Build the journal over `slots` (previously claimed payload blocks),
-    /// deriving its keys from the volume master key.
+    /// deriving its keys from the volume master key. Blocks pair up into
+    /// replicated logical slots: `slots[2i]` and `slots[2i + 1]` mirror each
+    /// other.
     pub fn new(master: &Key256, slots: Vec<BlockId>) -> Self {
         let mac_key = master.derive("resilience:journal-mac");
+        let logical = slots.len().div_ceil(2);
         Self {
-            free: Mutex::new((0..slots.len()).rev().collect()),
+            free: Mutex::new((0..logical).rev().collect()),
             op_counter: AtomicU64::new(1),
             seal_key: master.derive("resilience:journal"),
             mac: HmacSha256::new(mac_key.as_bytes()),
@@ -253,9 +311,20 @@ impl IntentJournal {
         !self.slots.is_empty()
     }
 
-    /// The slot block locations, in pool order.
+    /// The slot block locations, in pool order (both copies of every pair).
     pub fn slots(&self) -> &[BlockId] {
         &self.slots
+    }
+
+    /// Number of logical (replicated) slots — concurrent in-flight intents
+    /// the pool can hold.
+    pub fn logical_slots(&self) -> usize {
+        self.slots.len().div_ceil(2)
+    }
+
+    /// The block pair of logical slot `i`: primary plus mirror (if any).
+    fn pair(&self, i: usize) -> (BlockId, Option<BlockId>) {
+        (self.slots[2 * i], self.slots.get(2 * i + 1).copied())
     }
 
     /// How many [`BlockWriteIntent`] entries (each with `parity_rows` parity
@@ -269,13 +338,26 @@ impl IntentJournal {
         path: &str,
         parity_rows: usize,
     ) -> usize {
+        self.batch_capacity_reserving(fs, path, parity_rows, 0)
+    }
+
+    /// Like [`IntentJournal::batch_capacity`], but reserving room for
+    /// `tail_entries` additional parity-less entries (the shadow stripe-map
+    /// rewrite recorded at the end of each chunk's record).
+    pub fn batch_capacity_reserving<D: BlockDevice>(
+        &self,
+        fs: &StegFs<D>,
+        path: &str,
+        parity_rows: usize,
+        tail_entries: usize,
+    ) -> usize {
         let fixed = MAGIC.len() + 8 + 1 + 2 + path.len() + 2 + MAC_LEN;
-        let per_entry = 8
-            + 8
-            + 2 * BlockCheck::ENCODED_LEN
-            + 1
-            + parity_rows * (8 + 2 * BlockCheck::ENCODED_LEN);
-        fs.codec().data_field_len().saturating_sub(fixed) / per_entry
+        let per_plain = 8 + 8 + 2 * BlockCheck::ENCODED_LEN + 1;
+        let per_entry = per_plain + parity_rows * (8 + 2 * BlockCheck::ENCODED_LEN);
+        fs.codec()
+            .data_field_len()
+            .saturating_sub(fixed + tail_entries * per_plain)
+            / per_entry
     }
 
     /// Wait for a free slot. Operations hold a slot only for their own
@@ -316,10 +398,23 @@ impl IntentJournal {
             });
         }
         let slot = self.acquire_slot();
-        let io = fs.with_rng(|rng| {
-            fs.codec()
-                .write_sealed(fs.device(), self.slots[slot], &self.seal_key, &plain, rng)
-        });
+        let (primary, mirror) = self.pair(slot);
+        // Two independent seals (fresh IV each): the mirror shares no
+        // ciphertext bytes with the primary, so the pair never reads as a
+        // visible twin on disk.
+        let io = (|| {
+            fs.with_rng(|rng| {
+                fs.codec()
+                    .write_sealed(fs.device(), primary, &self.seal_key, &plain, rng)
+            })?;
+            if let Some(mirror) = mirror {
+                fs.with_rng(|rng| {
+                    fs.codec()
+                        .write_sealed(fs.device(), mirror, &self.seal_key, &plain, rng)
+                })?;
+            }
+            Ok::<(), stegfs_base::FsError>(())
+        })();
         if let Err(e) = io {
             self.free.lock().push(slot);
             return Err(e.into());
@@ -330,17 +425,33 @@ impl IntentJournal {
         }))
     }
 
-    /// Read every slot and return the valid records found, in slot order.
-    /// Also advances the op counter past the highest id seen, so recovery-
-    /// time operations never reuse a live id.
+    /// Read every logical slot and return the valid records found, in slot
+    /// order — one record per pair, taken from whichever copy authenticates
+    /// (the higher op-id wins if a torn rewrite left the copies holding two
+    /// different, individually valid records). Also advances the op counter
+    /// past the highest id seen, so recovery-time operations never reuse a
+    /// live id.
     pub fn scan<D: BlockDevice>(
         &self,
         fs: &StegFs<D>,
     ) -> Result<Vec<IntentRecord>, ResilienceError> {
         let mut out = Vec::new();
-        for &slot in &self.slots {
-            let plain = fs.codec().read_sealed(fs.device(), slot, &self.seal_key)?;
-            if let Some(record) = IntentRecord::decode(&plain, &self.mac) {
+        for i in 0..self.logical_slots() {
+            let (primary, mirror) = self.pair(i);
+            let decode = |block: BlockId| -> Result<Option<IntentRecord>, ResilienceError> {
+                let plain = fs.codec().read_sealed(fs.device(), block, &self.seal_key)?;
+                Ok(IntentRecord::decode(&plain, &self.mac))
+            };
+            let a = decode(primary)?;
+            let b = match mirror {
+                Some(m) => decode(m)?,
+                None => None,
+            };
+            let record = match (a, b) {
+                (Some(a), Some(b)) => Some(if a.op_id >= b.op_id { a } else { b }),
+                (a, b) => a.or(b),
+            };
+            if let Some(record) = record {
                 self.op_counter
                     .fetch_max(record.op_id + 1, Ordering::Relaxed);
                 out.push(record);
@@ -442,6 +553,14 @@ mod tests {
                 op_id: 2,
                 path: "/b".into(),
                 body: IntentBody::Repair,
+            },
+            IntentRecord {
+                op_id: 3,
+                path: "/.registry".into(),
+                body: IntentBody::RegistryCheckpoint {
+                    shard: 11,
+                    generation: 0x0102_0304_0506_0708,
+                },
             },
             sample_write_record(),
         ] {

@@ -49,6 +49,7 @@ mod codec;
 mod error;
 pub mod gf256;
 mod journal;
+mod scale;
 mod stats;
 mod store;
 mod stripe;
@@ -56,7 +57,10 @@ mod superblock;
 
 pub use codec::ErasureCodec;
 pub use error::ResilienceError;
-pub use journal::{BlockWriteIntent, IntentBody, IntentJournal, IntentRecord, ParityIntent};
+pub use journal::{
+    BlockWriteIntent, IntentBody, IntentJournal, IntentRecord, ParityIntent, SHADOW_ENTRY_BASE,
+};
+pub use scale::{RegistryConfig, RegistryStats, REGISTRY_PATH};
 pub use stats::{RecoveryReport, ResilienceStats, ScrubReport, SharedResilienceStats};
 pub use store::{ResilienceConfig, ResilientStore, ScrubCursor};
 pub use stripe::{BlockCheck, ChecksumKeys, ParityEntry, StripeConfig, StripeMap};

@@ -1,0 +1,1002 @@
+//! The persistent sharded registry — durable per-user state at million-user
+//! scale, inside the steganographic envelope.
+//!
+//! Everything the agents know (user registry, per-user directory structures,
+//! block bookkeeping) was historically rebuilt in RAM on every run: O(volume)
+//! resident memory and a cold start proportional to the whole user base. This
+//! module persists that state as a shard-partitioned on-disk structure whose
+//! blocks are *indistinguishable from free space*:
+//!
+//! * The key space is split across `shards` shards by a keyed hash (an HMAC
+//!   under a registry key derived from the volume master, so the mapping is
+//!   deterministic for the owner and opaque to everyone else).
+//! * Each shard owns a **head cell** block and **two fixed-size segments** of
+//!   `segment_blocks` blocks each, all claimed through the same uniform
+//!   [`stegfs_base::ClassMap::claim`] path as hidden data and sealed with the
+//!   volume codec — on disk they read as free space.
+//! * A checkpoint writes the shard's records into the *inactive* segment
+//!   under a bumped generation, then flips the head cell to name it. The head
+//!   flip is a single sector-atomic block write: the commit point. A
+//!   [`crate::IntentBody::RegistryCheckpoint`] intent brackets the switch so
+//!   a power cut resolves to a clean old-or-new shard (the half-written
+//!   target segment is randomised on recovery).
+//! * Shards load **lazily** and a bounded cache keeps at most
+//!   `max_resident_shards` resident (dirty shards are checkpointed before
+//!   eviction), so resident memory is O(active users), not O(volume).
+//!
+//! Every sealed plaintext (head cell, segment block) authenticates itself
+//! from the inside with a truncated keyed HMAC, exactly like journal records:
+//! random fill, torn writes and wrong-key reads all decode to "nothing here".
+//! The shard geometry travels as an ordinary resilient hidden file (striped,
+//! journaled, listed in the anchor's FAK table), so the registry is
+//! rediscovered from the master key alone.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use stegfs_base::BlockClass;
+use stegfs_blockdev::{BlockDevice, BlockId};
+use stegfs_crypto::{HmacSha256, Key256};
+
+use crate::error::ResilienceError;
+use crate::journal::IntentBody;
+use crate::store::{Recovered, ResilientStore};
+
+/// Path of the hidden file holding the registry shard geometry.
+pub const REGISTRY_PATH: &str = "/.registry";
+
+const GEO_MAGIC: [u8; 8] = *b"RGEO0001";
+const HEAD_MAGIC: [u8; 8] = *b"RHEAD001";
+const SEG_MAGIC: [u8; 8] = *b"RSEG0001";
+const MAC_LEN: usize = 16;
+/// Fixed bytes of a segment block before its payload chunk:
+/// magic ‖ shard ‖ generation ‖ seq ‖ total ‖ len.
+const SEG_HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 2;
+
+/// Shape of a persistent registry. Fixed at [`ResilientStore::init_registry`]
+/// time (it is persisted in the geometry file); only `max_resident_shards`
+/// is a runtime knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Number of shards the key space is partitioned into.
+    pub shards: u32,
+    /// Blocks per shard segment (each shard owns two segments plus a head
+    /// cell).
+    pub segment_blocks: u32,
+    /// Most shards kept resident at once; the oldest resident shard is
+    /// checkpointed (when dirty) and dropped past this bound.
+    pub max_resident_shards: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            segment_blocks: 4,
+            max_resident_shards: 4,
+        }
+    }
+}
+
+impl RegistryConfig {
+    /// Override the shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Override the blocks per segment.
+    pub fn with_segment_blocks(mut self, blocks: u32) -> Self {
+        self.segment_blocks = blocks;
+        self
+    }
+
+    /// Override the resident-shard bound.
+    pub fn with_max_resident(mut self, shards: usize) -> Self {
+        self.max_resident_shards = shards;
+        self
+    }
+}
+
+/// Point-in-time registry statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Shards in the registry.
+    pub shards: u32,
+    /// Shards currently resident in memory.
+    pub resident_shards: usize,
+    /// Records held by the resident shards — the O(active users) bound.
+    pub resident_records: usize,
+}
+
+/// On-disk geometry of one shard.
+struct ShardGeometry {
+    head: BlockId,
+    segments: [Vec<BlockId>; 2],
+}
+
+/// One resident shard.
+struct ShardCache {
+    generation: u64,
+    active: usize,
+    records: BTreeMap<String, Vec<u8>>,
+    dirty: bool,
+}
+
+/// The resident-shard cache: shard id → records, plus load order for FIFO
+/// eviction (deterministic for a deterministic operation sequence).
+#[derive(Default)]
+struct CacheMap {
+    resident: BTreeMap<u32, ShardCache>,
+    order: Vec<u32>,
+}
+
+/// In-memory state of an opened registry.
+pub(crate) struct RegistryState {
+    cfg: RegistryConfig,
+    shards: Vec<ShardGeometry>,
+    key: Key256,
+    mac: HmacSha256,
+    cache: Mutex<CacheMap>,
+}
+
+impl RegistryState {
+    fn new(cfg: RegistryConfig, shards: Vec<ShardGeometry>, master: &Key256) -> Self {
+        let key = master.derive("resilience:registry");
+        let mac_key = key.derive("mac");
+        Self {
+            cfg,
+            shards,
+            key,
+            mac: HmacSha256::new(mac_key.as_bytes()),
+            cache: Mutex::new(CacheMap::default()),
+        }
+    }
+
+    /// Shard owning `user`: keyed hash, deterministic for the owner and
+    /// opaque without the registry key.
+    fn shard_of(&self, user: &str) -> u32 {
+        let tag = self.mac.mac_with(user.as_bytes());
+        u32::from_le_bytes(tag[..4].try_into().unwrap()) % self.cfg.shards
+    }
+
+    /// Every block the registry occupies (head cells and both segments of
+    /// every shard), for class bookkeeping and invisibility tests.
+    fn blocks(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for geo in &self.shards {
+            out.push(geo.head);
+            out.extend_from_slice(&geo.segments[0]);
+            out.extend_from_slice(&geo.segments[1]);
+        }
+        out
+    }
+}
+
+// ----- wire formats ----------------------------------------------------
+
+fn encode_geometry(state: &RegistryState) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&GEO_MAGIC);
+    out.extend_from_slice(&state.cfg.shards.to_le_bytes());
+    out.extend_from_slice(&state.cfg.segment_blocks.to_le_bytes());
+    out.extend_from_slice(&(state.cfg.max_resident_shards as u32).to_le_bytes());
+    for geo in &state.shards {
+        out.extend_from_slice(&geo.head.to_le_bytes());
+        for seg in &geo.segments {
+            for &b in seg {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_geometry(buf: &[u8]) -> Result<(RegistryConfig, Vec<ShardGeometry>), ResilienceError> {
+    let corrupt = |what: &str| ResilienceError::Corrupt(format!("registry geometry: {what}"));
+    if buf.len() < 20 || buf[..8] != GEO_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let shards = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let segment_blocks = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    let max_resident = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+    if shards == 0 || segment_blocks == 0 {
+        return Err(corrupt("degenerate shape"));
+    }
+    let per_shard = 8 * (1 + 2 * segment_blocks as usize);
+    let need = 20 + shards as usize * per_shard;
+    if buf.len() < need {
+        return Err(corrupt("truncated shard table"));
+    }
+    let mut off = 20;
+    let read_u64 = |off: &mut usize| {
+        let v = u64::from_le_bytes(buf[*off..*off + 8].try_into().unwrap());
+        *off += 8;
+        v
+    };
+    let mut out = Vec::with_capacity(shards as usize);
+    for _ in 0..shards {
+        let head = read_u64(&mut off);
+        let mut segments = [Vec::new(), Vec::new()];
+        for seg in &mut segments {
+            for _ in 0..segment_blocks {
+                seg.push(read_u64(&mut off));
+            }
+        }
+        out.push(ShardGeometry { head, segments });
+    }
+    Ok((
+        RegistryConfig {
+            shards,
+            segment_blocks,
+            max_resident_shards: max_resident.max(1),
+        },
+        out,
+    ))
+}
+
+fn encode_head(
+    mac: &HmacSha256,
+    shard: u32,
+    active: usize,
+    generation: u64,
+    count: u32,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 1 + 8 + 4 + MAC_LEN);
+    out.extend_from_slice(&HEAD_MAGIC);
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.push(active as u8);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    let tag = mac.mac_with(&out);
+    out.extend_from_slice(&tag[..MAC_LEN]);
+    out
+}
+
+/// `(active, generation, count)` of a valid head cell, `None` otherwise.
+fn decode_head(mac: &HmacSha256, shard: u32, plain: &[u8]) -> Option<(usize, u64, u32)> {
+    let body = 8 + 4 + 1 + 8 + 4;
+    if plain.len() < body + MAC_LEN || plain[..8] != HEAD_MAGIC {
+        return None;
+    }
+    let tag = mac.mac_with(&plain[..body]);
+    if tag[..MAC_LEN] != plain[body..body + MAC_LEN] {
+        return None;
+    }
+    if u32::from_le_bytes(plain[8..12].try_into().unwrap()) != shard {
+        return None;
+    }
+    let active = plain[12] as usize;
+    if active > 1 {
+        return None;
+    }
+    let generation = u64::from_le_bytes(plain[13..21].try_into().unwrap());
+    let count = u32::from_le_bytes(plain[21..25].try_into().unwrap());
+    Some((active, generation, count))
+}
+
+fn encode_segment_block(
+    mac: &HmacSha256,
+    shard: u32,
+    generation: u64,
+    seq: u32,
+    total: u32,
+    chunk: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEG_HEADER_LEN + chunk.len() + MAC_LEN);
+    out.extend_from_slice(&SEG_MAGIC);
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&total.to_le_bytes());
+    out.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+    out.extend_from_slice(chunk);
+    let tag = mac.mac_with(&out);
+    out.extend_from_slice(&tag[..MAC_LEN]);
+    out
+}
+
+/// `(generation, seq, total, payload chunk)` of a valid segment block.
+fn decode_segment_block(
+    mac: &HmacSha256,
+    shard: u32,
+    plain: &[u8],
+) -> Option<(u64, u32, u32, Vec<u8>)> {
+    if plain.len() < SEG_HEADER_LEN + MAC_LEN || plain[..8] != SEG_MAGIC {
+        return None;
+    }
+    let len = u16::from_le_bytes(plain[28..30].try_into().unwrap()) as usize;
+    let body = SEG_HEADER_LEN + len;
+    if plain.len() < body + MAC_LEN {
+        return None;
+    }
+    let tag = mac.mac_with(&plain[..body]);
+    if tag[..MAC_LEN] != plain[body..body + MAC_LEN] {
+        return None;
+    }
+    if u32::from_le_bytes(plain[8..12].try_into().unwrap()) != shard {
+        return None;
+    }
+    let generation = u64::from_le_bytes(plain[12..20].try_into().unwrap());
+    let seq = u32::from_le_bytes(plain[20..24].try_into().unwrap());
+    let total = u32::from_le_bytes(plain[24..28].try_into().unwrap());
+    Some((generation, seq, total, plain[SEG_HEADER_LEN..body].to_vec()))
+}
+
+fn encode_records(records: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for (user, value) in records {
+        out.extend_from_slice(&(user.len() as u16).to_le_bytes());
+        out.extend_from_slice(user.as_bytes());
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(value);
+    }
+    out
+}
+
+fn decode_records(buf: &[u8]) -> Result<BTreeMap<String, Vec<u8>>, ResilienceError> {
+    let corrupt = |what: &str| ResilienceError::Corrupt(format!("registry shard payload: {what}"));
+    if buf.len() < 4 {
+        return Err(corrupt("truncated count"));
+    }
+    let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let mut off = 4;
+    let mut out = BTreeMap::new();
+    for _ in 0..count {
+        if off + 2 > buf.len() {
+            return Err(corrupt("truncated key length"));
+        }
+        let ulen = u16::from_le_bytes(buf[off..off + 2].try_into().unwrap()) as usize;
+        off += 2;
+        if off + ulen + 4 > buf.len() {
+            return Err(corrupt("truncated key"));
+        }
+        let user = String::from_utf8(buf[off..off + ulen].to_vec())
+            .map_err(|_| corrupt("non-UTF-8 key"))?;
+        off += ulen;
+        let vlen = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if off + vlen > buf.len() {
+            return Err(corrupt("truncated value"));
+        }
+        out.insert(user, buf[off..off + vlen].to_vec());
+        off += vlen;
+    }
+    Ok(out)
+}
+
+// ----- store integration -----------------------------------------------
+
+impl<D: BlockDevice> ResilientStore<D> {
+    /// Bytes of encoded record payload one shard segment can hold — the
+    /// per-shard capacity bound a checkpoint enforces.
+    pub fn registry_segment_capacity(&self) -> Option<usize> {
+        let cfg = self.registry_config()?;
+        let per = self
+            .fs
+            .content_bytes_per_block()
+            .saturating_sub(SEG_HEADER_LEN + MAC_LEN);
+        Some(per * cfg.segment_blocks as usize)
+    }
+
+    /// Create the persistent registry on this volume: claim every head cell
+    /// and segment block through the uniform allocator, write every shard as
+    /// an empty generation-1 checkpoint, and persist the geometry as a
+    /// (journaled, striped, anchored) hidden file at [`REGISTRY_PATH`].
+    pub fn init_registry(&self, cfg: RegistryConfig) -> Result<(), ResilienceError> {
+        if cfg.shards == 0 || cfg.segment_blocks == 0 {
+            return Err(ResilienceError::Corrupt(
+                "registry config: zero shards or segment blocks".to_string(),
+            ));
+        }
+        if self.registry.read().is_some() {
+            return Err(ResilienceError::Corrupt(
+                "registry already initialised".to_string(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(cfg.shards as usize);
+        let mut mref = &self.map;
+        for _ in 0..cfg.shards {
+            let head = self.fs.allocate_blocks(&mut mref, 1)?[0];
+            let a = self
+                .fs
+                .allocate_blocks(&mut mref, cfg.segment_blocks as u64)?;
+            let b = self
+                .fs
+                .allocate_blocks(&mut mref, cfg.segment_blocks as u64)?;
+            shards.push(ShardGeometry {
+                head,
+                segments: [a, b],
+            });
+        }
+        let state = RegistryState::new(cfg, shards, &self.master);
+        let empty = BTreeMap::new();
+        for shard in 0..cfg.shards {
+            self.write_segment(&state, shard, 0, 1, &encode_records(&empty))?;
+            self.write_head(&state, shard, 0, 1, 0)?;
+        }
+        // The geometry file's anchor commit is the registry's commit: a cut
+        // anywhere earlier leaves the claimed blocks unreferenced (harmless
+        // random fill) and no registry.
+        self.create_file(REGISTRY_PATH, &encode_geometry(&state))?;
+        *self.registry.write() = Some(state);
+        Ok(())
+    }
+
+    /// Load the registry geometry if this volume carries one. Called by
+    /// [`ResilientStore::open`] before journal recovery.
+    pub(crate) fn load_registry(&self) -> Result<(), ResilienceError> {
+        if !self.paths().iter().any(|p| p == REGISTRY_PATH) {
+            return Ok(());
+        }
+        let bytes = self.read_file(REGISTRY_PATH)?;
+        let (cfg, shards) = decode_geometry(&bytes)?;
+        let state = RegistryState::new(cfg, shards, &self.master);
+        // The registry's blocks are payload, not free space: re-mark them so
+        // later allocations cannot claim them.
+        for b in state.blocks() {
+            self.map.set(b, BlockClass::Data);
+        }
+        *self.registry.write() = Some(state);
+        Ok(())
+    }
+
+    /// Whether this volume carries a persistent registry.
+    pub fn has_registry(&self) -> bool {
+        self.registry.read().is_some()
+    }
+
+    /// The registry shape, when one is present.
+    pub fn registry_config(&self) -> Option<RegistryConfig> {
+        self.registry.read().as_ref().map(|s| s.cfg)
+    }
+
+    /// The shard a user's records live in — the keyed partition is stable
+    /// across reopens, so crash tests can group users and assert that each
+    /// shard moves through a checkpoint atomically.
+    pub fn registry_shard_of(&self, user: &str) -> Option<u32> {
+        self.registry.read().as_ref().map(|s| s.shard_of(user))
+    }
+
+    /// Every block the registry occupies, for invisibility and crash tests.
+    pub fn registry_blocks(&self) -> Vec<BlockId> {
+        self.registry
+            .read()
+            .as_ref()
+            .map(|s| s.blocks())
+            .unwrap_or_default()
+    }
+
+    /// Resident-memory statistics — the O(active users) contract: resident
+    /// records never exceed `max_resident_shards` shards' worth regardless of
+    /// the registered population.
+    pub fn registry_stats(&self) -> RegistryStats {
+        let reg = self.registry.read();
+        match reg.as_ref() {
+            None => RegistryStats {
+                shards: 0,
+                resident_shards: 0,
+                resident_records: 0,
+            },
+            Some(state) => {
+                let cache = state.cache.lock();
+                RegistryStats {
+                    shards: state.cfg.shards,
+                    resident_shards: cache.resident.len(),
+                    resident_records: cache.resident.values().map(|c| c.records.len()).sum(),
+                }
+            }
+        }
+    }
+
+    /// Total records across all shards as of each shard's last checkpoint
+    /// (head-cell counts; dirty resident records are not included). Costs one
+    /// sealed read per shard and no resident memory.
+    pub fn registry_checkpointed_records(&self) -> Result<u64, ResilienceError> {
+        let reg = self.registry.read();
+        let Some(state) = reg.as_ref() else {
+            return Ok(0);
+        };
+        let mut total = 0u64;
+        for (shard, geo) in state.shards.iter().enumerate() {
+            let plain = self
+                .fs
+                .codec()
+                .read_sealed(self.fs.device(), geo.head, &state.key)?;
+            if let Some((_, _, count)) = decode_head(&state.mac, shard as u32, &plain) {
+                total += count as u64;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Insert or replace `user`'s record.
+    pub fn registry_put(&self, user: &str, value: &[u8]) -> Result<(), ResilienceError> {
+        self.with_shard_of(user, |cache| {
+            cache.records.insert(user.to_string(), value.to_vec());
+            cache.dirty = true;
+            Ok(())
+        })
+    }
+
+    /// Look up `user`'s record.
+    pub fn registry_get(&self, user: &str) -> Result<Option<Vec<u8>>, ResilienceError> {
+        self.with_shard_of(user, |cache| Ok(cache.records.get(user).cloned()))
+    }
+
+    /// Remove `user`'s record; reports whether it existed.
+    pub fn registry_remove(&self, user: &str) -> Result<bool, ResilienceError> {
+        self.with_shard_of(user, |cache| {
+            let existed = cache.records.remove(user).is_some();
+            cache.dirty |= existed;
+            Ok(existed)
+        })
+    }
+
+    /// Checkpoint every dirty resident shard; returns how many were written.
+    pub fn registry_checkpoint(&self) -> Result<usize, ResilienceError> {
+        let reg = self.registry.read();
+        let state = reg
+            .as_ref()
+            .ok_or_else(|| ResilienceError::Corrupt("registry not initialised".to_string()))?;
+        let mut cache = state.cache.lock();
+        let dirty: Vec<u32> = cache
+            .resident
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&s, _)| s)
+            .collect();
+        for &shard in &dirty {
+            let c = cache.resident.get_mut(&shard).expect("resident");
+            self.checkpoint_shard(state, shard, c)?;
+        }
+        Ok(dirty.len())
+    }
+
+    /// Checkpoint dirty shards, then drop every resident shard — the cold
+    /// state a fresh open starts from (used by determinism tests and the
+    /// memory-bound measurements).
+    pub fn registry_drop_caches(&self) -> Result<(), ResilienceError> {
+        self.registry_checkpoint()?;
+        if let Some(state) = self.registry.read().as_ref() {
+            let mut cache = state.cache.lock();
+            cache.resident.clear();
+            cache.order.clear();
+        }
+        Ok(())
+    }
+
+    /// Run `f` over the resident cache entry of `user`'s shard, loading and
+    /// evicting as needed.
+    fn with_shard_of<T>(
+        &self,
+        user: &str,
+        f: impl FnOnce(&mut ShardCache) -> Result<T, ResilienceError>,
+    ) -> Result<T, ResilienceError> {
+        let reg = self.registry.read();
+        let state = reg
+            .as_ref()
+            .ok_or_else(|| ResilienceError::Corrupt("registry not initialised".to_string()))?;
+        let shard = state.shard_of(user);
+        let mut cache = state.cache.lock();
+        self.ensure_resident(state, &mut cache, shard)?;
+        f(cache.resident.get_mut(&shard).expect("just loaded"))
+    }
+
+    /// Make `shard` resident, evicting the oldest resident shard past the
+    /// configured bound (checkpointing it first when dirty).
+    fn ensure_resident(
+        &self,
+        state: &RegistryState,
+        cache: &mut CacheMap,
+        shard: u32,
+    ) -> Result<(), ResilienceError> {
+        if cache.resident.contains_key(&shard) {
+            return Ok(());
+        }
+        let loaded = self.load_shard(state, shard)?;
+        cache.resident.insert(shard, loaded);
+        cache.order.push(shard);
+        let bound = state.cfg.max_resident_shards.max(1);
+        while cache.resident.len() > bound {
+            let victim = cache.order.remove(0);
+            if victim == shard {
+                // Never evict the shard the caller is about to use.
+                cache.order.push(victim);
+                continue;
+            }
+            if let Some(mut c) = cache.resident.remove(&victim) {
+                if c.dirty {
+                    self.checkpoint_shard(state, victim, &mut c)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one shard from disk: head cell first, full-segment scan as the
+    /// fallback when the head cell does not authenticate.
+    fn load_shard(&self, state: &RegistryState, shard: u32) -> Result<ShardCache, ResilienceError> {
+        let geo = &state.shards[shard as usize];
+        let plain = self
+            .fs
+            .codec()
+            .read_sealed(self.fs.device(), geo.head, &state.key)?;
+        if let Some((active, generation, _)) = decode_head(&state.mac, shard, &plain) {
+            if let Some(records) = self.read_segment(state, shard, active, Some(generation))? {
+                return Ok(ShardCache {
+                    generation,
+                    active,
+                    records,
+                    dirty: false,
+                });
+            }
+        }
+        // Fallback: trust whichever segment holds the highest fully-valid
+        // generation (both-copies loss of the head cell, or pre-recovery
+        // inspection).
+        let mut best: Option<(u64, usize, BTreeMap<String, Vec<u8>>)> = None;
+        for seg in 0..2 {
+            if let Some(records) = self.read_segment(state, shard, seg, None)? {
+                let generation = self.segment_generation(state, shard, seg)?;
+                if best
+                    .as_ref()
+                    .map(|(g, _, _)| generation > *g)
+                    .unwrap_or(true)
+                {
+                    best = Some((generation, seg, records));
+                }
+            }
+        }
+        match best {
+            Some((generation, active, records)) => Ok(ShardCache {
+                generation,
+                active,
+                records,
+                dirty: false,
+            }),
+            None => Err(ResilienceError::Corrupt(format!(
+                "registry shard {shard}: no valid head cell or segment"
+            ))),
+        }
+    }
+
+    /// Generation carried by the first block of a segment (the caller has
+    /// already validated the whole segment).
+    fn segment_generation(
+        &self,
+        state: &RegistryState,
+        shard: u32,
+        seg: usize,
+    ) -> Result<u64, ResilienceError> {
+        let geo = &state.shards[shard as usize];
+        let plain =
+            self.fs
+                .codec()
+                .read_sealed(self.fs.device(), geo.segments[seg][0], &state.key)?;
+        Ok(decode_segment_block(&state.mac, shard, &plain)
+            .map(|(g, _, _, _)| g)
+            .unwrap_or(0))
+    }
+
+    /// Decode a whole segment. `None` unless **every** block authenticates,
+    /// carries the same generation (and `expect_gen` when given), and the
+    /// sequence numbers line up — a half-written segment never loads.
+    fn read_segment(
+        &self,
+        state: &RegistryState,
+        shard: u32,
+        seg: usize,
+        expect_gen: Option<u64>,
+    ) -> Result<Option<BTreeMap<String, Vec<u8>>>, ResilienceError> {
+        let geo = &state.shards[shard as usize];
+        let blocks = &geo.segments[seg];
+        let mut payload = Vec::new();
+        let mut generation = None;
+        for (i, &b) in blocks.iter().enumerate() {
+            let plain = self
+                .fs
+                .codec()
+                .read_sealed(self.fs.device(), b, &state.key)?;
+            let Some((g, seq, total, chunk)) = decode_segment_block(&state.mac, shard, &plain)
+            else {
+                return Ok(None);
+            };
+            if seq as usize != i
+                || total as usize != blocks.len()
+                || expect_gen.is_some_and(|e| e != g)
+                || generation.is_some_and(|prev: u64| prev != g)
+            {
+                return Ok(None);
+            }
+            generation = Some(g);
+            payload.extend_from_slice(&chunk);
+        }
+        match decode_records(&payload) {
+            Ok(records) => Ok(Some(records)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Seal `payload` across every block of segment `seg` under `generation`.
+    fn write_segment(
+        &self,
+        state: &RegistryState,
+        shard: u32,
+        seg: usize,
+        generation: u64,
+        payload: &[u8],
+    ) -> Result<(), ResilienceError> {
+        let geo = &state.shards[shard as usize];
+        let blocks = &geo.segments[seg];
+        let per = self
+            .fs
+            .content_bytes_per_block()
+            .saturating_sub(SEG_HEADER_LEN + MAC_LEN);
+        if payload.len() > per * blocks.len() {
+            return Err(ResilienceError::Corrupt(format!(
+                "registry shard {shard} overflows its segment: {} > {} bytes",
+                payload.len(),
+                per * blocks.len()
+            )));
+        }
+        for (i, &b) in blocks.iter().enumerate() {
+            let start = (i * per).min(payload.len());
+            let end = ((i + 1) * per).min(payload.len());
+            let plain = encode_segment_block(
+                &state.mac,
+                shard,
+                generation,
+                i as u32,
+                blocks.len() as u32,
+                &payload[start..end],
+            );
+            self.fs.with_rng(|rng| {
+                self.fs
+                    .codec()
+                    .write_sealed(self.fs.device(), b, &state.key, &plain, rng)
+            })?;
+        }
+        Ok(())
+    }
+
+    fn write_head(
+        &self,
+        state: &RegistryState,
+        shard: u32,
+        active: usize,
+        generation: u64,
+        count: u32,
+    ) -> Result<(), ResilienceError> {
+        let geo = &state.shards[shard as usize];
+        let plain = encode_head(&state.mac, shard, active, generation, count);
+        self.fs.with_rng(|rng| {
+            self.fs
+                .codec()
+                .write_sealed(self.fs.device(), geo.head, &state.key, &plain, rng)
+        })?;
+        Ok(())
+    }
+
+    /// Write `shard`'s records into its inactive segment and flip the head
+    /// cell, bracketed by a `RegistryCheckpoint` intent. The head flip — one
+    /// sector-atomic block write — is the commit point: a cut before it
+    /// leaves the old segment live (recovery randomises the half-written
+    /// target), a cut after it leaves the new one.
+    fn checkpoint_shard(
+        &self,
+        state: &RegistryState,
+        shard: u32,
+        c: &mut ShardCache,
+    ) -> Result<(), ResilienceError> {
+        let target = 1 - c.active;
+        let generation = c.generation + 1;
+        let payload = encode_records(&c.records);
+        let intent = self.journal.begin(
+            &self.fs,
+            REGISTRY_PATH,
+            IntentBody::RegistryCheckpoint { shard, generation },
+        )?;
+        self.write_segment(state, shard, target, generation, &payload)?;
+        self.write_head(state, shard, target, generation, c.records.len() as u32)?;
+        drop(intent);
+        c.active = target;
+        c.generation = generation;
+        c.dirty = false;
+        Ok(())
+    }
+
+    /// Resolve an interrupted registry checkpoint. The head cell is the
+    /// commit point, so its generation decides: already at the record's
+    /// generation means the checkpoint landed (forward); older means the cut
+    /// hit mid-segment-write — the half-written target segment is randomised
+    /// back to free-space fill (backward); newer means a later serialised
+    /// checkpoint superseded the record (stale).
+    pub(crate) fn recover_registry_checkpoint(
+        &self,
+        shard: u32,
+        generation: u64,
+    ) -> Result<Recovered, ResilienceError> {
+        let reg = self.registry.read();
+        let Some(state) = reg.as_ref() else {
+            return Ok(Recovered::Stale);
+        };
+        let Some(geo) = state.shards.get(shard as usize) else {
+            return Ok(Recovered::Stale);
+        };
+        let plain = self
+            .fs
+            .codec()
+            .read_sealed(self.fs.device(), geo.head, &state.key)?;
+        match decode_head(&state.mac, shard, &plain) {
+            Some((_, head_gen, _)) if head_gen == generation => Ok(Recovered::Forward),
+            Some((active, head_gen, _)) if head_gen < generation => {
+                for &b in &geo.segments[1 - active] {
+                    self.fs.randomize_block(b)?;
+                }
+                Ok(Recovered::Back)
+            }
+            Some(_) => Ok(Recovered::Stale),
+            // Outside the sector-atomic contract (head cell torn or lost):
+            // the shard still loads through the full-segment scan fallback,
+            // but the record cannot be classified.
+            None => Ok(Recovered::Lost),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{ResilienceConfig, ResilientStore};
+    use stegfs_base::StegFsConfig;
+    use stegfs_blockdev::{FaultDevice, FaultPlan, MemDevice};
+
+    fn cfg() -> ResilienceConfig {
+        ResilienceConfig::default()
+            .with_fs(StegFsConfig::default().with_block_size(512))
+            .with_stripe(4, 2)
+    }
+
+    fn master() -> Key256 {
+        Key256::from_passphrase("registry-owner")
+    }
+
+    fn reg_cfg() -> RegistryConfig {
+        RegistryConfig::default()
+            .with_shards(4)
+            .with_segment_blocks(2)
+            .with_max_resident(2)
+    }
+
+    fn fresh_store() -> ResilientStore<FaultDevice<MemDevice>> {
+        let dev = FaultDevice::new(MemDevice::new(2048, 512));
+        let store = ResilientStore::format(dev, cfg(), &master(), 7).unwrap();
+        store.init_registry(reg_cfg()).unwrap();
+        store
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let store = fresh_store();
+        assert!(store.has_registry());
+        assert_eq!(store.registry_config(), Some(reg_cfg()));
+        for i in 0..20 {
+            store
+                .registry_put(&format!("user-{i}"), format!("state-{i}").as_bytes())
+                .unwrap();
+        }
+        for i in 0..20 {
+            assert_eq!(
+                store.registry_get(&format!("user-{i}")).unwrap().as_deref(),
+                Some(format!("state-{i}").as_bytes())
+            );
+        }
+        assert!(store.registry_remove("user-3").unwrap());
+        assert!(!store.registry_remove("user-3").unwrap());
+        assert_eq!(store.registry_get("user-3").unwrap(), None);
+        assert_eq!(store.registry_get("never-registered").unwrap(), None);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_from_disk() {
+        let store = fresh_store();
+        for i in 0..12 {
+            store
+                .registry_put(&format!("u{i}"), &[i as u8; 24])
+                .unwrap();
+        }
+        assert!(store.registry_checkpoint().unwrap() >= 1);
+        assert_eq!(store.registry_checkpointed_records().unwrap(), 12);
+        let device = store.fs.into_device();
+
+        let reopened = ResilientStore::open(device, cfg(), &master(), 8).unwrap();
+        assert!(reopened.has_registry());
+        // Cold start: nothing resident until a lookup pulls a shard in.
+        assert_eq!(reopened.registry_stats().resident_shards, 0);
+        for i in 0..12 {
+            assert_eq!(
+                reopened.registry_get(&format!("u{i}")).unwrap(),
+                Some(vec![i as u8; 24])
+            );
+        }
+    }
+
+    #[test]
+    fn resident_memory_stays_bounded() {
+        let store = fresh_store();
+        for i in 0..64 {
+            store.registry_put(&format!("user-{i}"), &[7; 8]).unwrap();
+            assert!(store.registry_stats().resident_shards <= 2);
+        }
+        // Eviction checkpointed the displaced shards: everything reads back
+        // even though at most two shards were ever resident.
+        for i in 0..64 {
+            assert_eq!(
+                store.registry_get(&format!("user-{i}")).unwrap(),
+                Some(vec![7; 8])
+            );
+        }
+        store.registry_drop_caches().unwrap();
+        assert_eq!(store.registry_stats().resident_records, 0);
+        assert_eq!(store.registry_checkpointed_records().unwrap(), 64);
+    }
+
+    #[test]
+    fn shard_overflow_is_reported() {
+        let store = fresh_store();
+        // One segment holds 2 blocks × (content − overhead) bytes; a single
+        // oversized record cannot checkpoint and must not be silently
+        // truncated.
+        let cap = store.registry_segment_capacity().unwrap();
+        store.registry_put("whale", &vec![1u8; cap]).unwrap();
+        let err = store.registry_checkpoint().unwrap_err();
+        assert!(matches!(err, ResilienceError::Corrupt(_)));
+    }
+
+    #[test]
+    fn lost_head_cell_falls_back_to_segment_scan() {
+        let store = fresh_store();
+        for i in 0..10 {
+            store.registry_put(&format!("u{i}"), &[i as u8; 4]).unwrap();
+        }
+        store.registry_drop_caches().unwrap();
+        // Zero every head cell: recovery must rebuild from the segments
+        // alone, picking the highest fully-valid generation.
+        let mut plan = FaultPlan::new(31);
+        let blocks = store.registry_blocks();
+        let cfg = store.registry_config().unwrap();
+        let stride = 1 + 2 * cfg.segment_blocks as usize;
+        for shard in 0..cfg.shards as usize {
+            plan.zero_block(blocks[shard * stride]);
+        }
+        store.fs.device().apply_plan(&plan).unwrap();
+        for i in 0..10 {
+            assert_eq!(
+                store.registry_get(&format!("u{i}")).unwrap(),
+                Some(vec![i as u8; 4])
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let store = fresh_store();
+        let reg = store.registry.read();
+        let state = reg.as_ref().unwrap();
+        let encoded = encode_geometry(state);
+        let (cfg2, shards) = decode_geometry(&encoded).unwrap();
+        assert_eq!(cfg2, state.cfg);
+        assert_eq!(shards.len(), state.shards.len());
+        for (a, b) in shards.iter().zip(&state.shards) {
+            assert_eq!(a.head, b.head);
+            assert_eq!(a.segments, b.segments);
+        }
+        assert!(decode_geometry(&encoded[..12]).is_err());
+        let mut bad = encoded.clone();
+        bad[0] ^= 1;
+        assert!(decode_geometry(&bad).is_err());
+    }
+}

@@ -44,7 +44,10 @@ use stegfs_crypto::{Aes256, CbcCipher, HashDrbg, Key256};
 
 use crate::codec::ErasureCodec;
 use crate::error::ResilienceError;
-use crate::journal::{BlockWriteIntent, IntentBody, IntentJournal, IntentRecord, ParityIntent};
+use crate::journal::{
+    BlockWriteIntent, IntentBody, IntentJournal, IntentRecord, ParityIntent, SHADOW_ENTRY_BASE,
+};
+use crate::scale::RegistryState;
 use crate::stats::{RecoveryReport, ResilienceStats, ScrubReport, SharedResilienceStats};
 use crate::stripe::{BlockCheck, ChecksumKeys, ParityEntry, StripeConfig, StripeMap};
 use crate::superblock::VolumeAnchor;
@@ -58,9 +61,11 @@ pub struct ResilienceConfig {
     pub fs: StegFsConfig,
     /// Maximum blocks per ranged read in a scrub sweep.
     pub scrub_batch: usize,
-    /// Intent-journal slot blocks claimed at format time. `0` disables
+    /// Logical intent-journal slots claimed at format time. `0` disables
     /// journaling entirely (the pre-journal update path, kept as the bench
-    /// baseline); each slot admits one in-flight multi-block mutation.
+    /// baseline); each slot admits one in-flight multi-block mutation and
+    /// occupies *two* uniformly claimed blocks (a replicated pair, so a lost
+    /// slot block cannot orphan an in-flight intent).
     pub journal_slots: usize,
 }
 
@@ -125,12 +130,12 @@ enum ShardRef {
 
 /// A store of erasure-coded hidden files over a block device.
 pub struct ResilientStore<D> {
-    fs: StegFs<D>,
-    map: ShardedBlockMap,
+    pub(crate) fs: StegFs<D>,
+    pub(crate) map: ShardedBlockMap,
     codec: ErasureCodec,
     stripe_cfg: StripeConfig,
     scrub_batch: usize,
-    master: Key256,
+    pub(crate) master: Key256,
     anchor_key: Key256,
     payload_key: Key256,
     /// Anchor generation counter; bumped on every FAK-table change.
@@ -138,14 +143,17 @@ pub struct ResilientStore<D> {
     /// Managed files by path. `BTreeMap` so that every sweep and every
     /// persisted table is in deterministic path order.
     files: RwLock<BTreeMap<String, Arc<RwLock<FileState>>>>,
-    journal: IntentJournal,
+    pub(crate) journal: IntentJournal,
+    /// The persistent sharded registry, when the volume carries one.
+    pub(crate) registry: RwLock<Option<RegistryState>>,
     /// Outcome of the journal-recovery pass run by [`ResilientStore::open`].
     recovery: Mutex<RecoveryReport>,
     stats: Arc<SharedResilienceStats>,
 }
 
 /// Outcome of recovering one intent record.
-enum Recovered {
+#[derive(PartialEq, Eq)]
+pub(crate) enum Recovered {
     /// The operation was completed forward (its new state made durable).
     Forward,
     /// The operation was undone (the old state restored).
@@ -184,8 +192,10 @@ impl<D: BlockDevice> ResilientStore<D> {
         }
         // Claim the journal slots through the same uniform allocation as
         // hidden data; the format-time random fill is a valid empty journal.
+        // Two blocks per logical slot: consecutive pairs mirror each other,
+        // so a lost slot block can no longer orphan an in-flight intent.
         let mut mref = &map;
-        let slots = fs.allocate_blocks(&mut mref, cfg.journal_slots as u64)?;
+        let slots = fs.allocate_blocks(&mut mref, 2 * cfg.journal_slots as u64)?;
         let store = Self::assemble(fs, map, cfg, master, 0, slots);
         store.persist_anchor()?;
         Ok(store)
@@ -246,6 +256,11 @@ impl<D: BlockDevice> ResilientStore<D> {
                 })),
             );
         }
+        // Load the persistent registry geometry (if the volume carries one)
+        // before journal recovery: a `RegistryCheckpoint` intent needs the
+        // shard geometry to resolve. The geometry file is written exactly
+        // once at `init_registry`, so reading it pre-recovery is safe.
+        store.load_registry()?;
         let report = store.recover_journal()?;
         *store.recovery.lock() = report;
         Ok(store)
@@ -269,6 +284,7 @@ impl<D: BlockDevice> ResilientStore<D> {
             generation: Mutex::new(generation),
             files: RwLock::new(BTreeMap::new()),
             journal: IntentJournal::new(master, journal_slots),
+            registry: RwLock::new(None),
             recovery: Mutex::new(RecoveryReport::default()),
             stats: Arc::new(SharedResilienceStats::default()),
             fs,
@@ -279,6 +295,13 @@ impl<D: BlockDevice> ResilientStore<D> {
     /// The underlying file system.
     pub fn fs(&self) -> &StegFs<D> {
         &self.fs
+    }
+
+    /// Consume the store and return the raw device (simulated unmount — no
+    /// flush is performed; checkpoint the registry first if it has dirty
+    /// resident shards).
+    pub fn into_device(self) -> D {
+        self.fs.into_device()
     }
 
     /// The shared block classification map.
@@ -757,7 +780,20 @@ impl<D: BlockDevice> ResilientStore<D> {
         let keys = self.checksum_keys(&g.open)?;
         let content_key = *g.open.fak.content_key().expect("checked above");
         let (k, m) = (self.stripe_cfg.k, self.stripe_cfg.m);
-        let cap = self.journal.batch_capacity(&self.fs, path, m).max(1);
+        let per = self.fs.content_bytes_per_block();
+        // Reserve record room for the shadow rewrite that closes each chunk,
+        // so the map write is journaled like every other write of the batch.
+        // If a pathological shadow size would starve the record, fall back to
+        // the unreserved capacity and leave the shadow unrecorded (recovery
+        // re-derives it either way).
+        let mut shadow_tail = g.shadow.header.num_blocks() as usize;
+        let mut cap = self
+            .journal
+            .batch_capacity_reserving(&self.fs, path, m, shadow_tail);
+        if cap == 0 {
+            shadow_tail = 0;
+            cap = self.journal.batch_capacity(&self.fs, path, m).max(1);
+        }
         for chunk in changes.chunks(cap) {
             // Plan the chunk: read each affected stripe's parity once, fold
             // every delta in entry order, and snapshot the chain state after
@@ -801,6 +837,44 @@ impl<D: BlockDevice> ResilientStore<D> {
                         .collect(),
                 });
                 planned_parity.push(parities.clone());
+            }
+
+            // Record the chunk-closing shadow rewrite as the final entries of
+            // the intent: pre = the map as it stands, post = the map with
+            // every planned check applied. Parity-less — the shadow is not
+            // striped; recovery re-derives it from the resolved frontier and
+            // uses these checks to verify the on-disk copy.
+            if shadow_tail > 0 {
+                let shadow_keys = self.checksum_keys(&g.shadow)?;
+                let mut post_map = g.stripes.clone();
+                for e in &entries {
+                    post_map.set_data_check(e.index, e.data_post);
+                    let stripe = self.stripe_cfg.stripe_of(e.index);
+                    for (row, p) in e.parity.iter().enumerate() {
+                        let mut pe = *post_map.parity_entry(stripe, row);
+                        pe.check = p.post;
+                        post_map.set_parity_entry(stripe, row, pe);
+                    }
+                }
+                let pre_encoded = g.stripes.encode();
+                let post_encoded = post_map.encode();
+                for (i, (pre, post)) in pre_encoded
+                    .chunks(per)
+                    .zip(post_encoded.chunks(per))
+                    .enumerate()
+                {
+                    let mut pre_field = vec![0u8; per];
+                    pre_field[..pre.len()].copy_from_slice(pre);
+                    let mut post_field = vec![0u8; per];
+                    post_field[..post.len()].copy_from_slice(post);
+                    entries.push(BlockWriteIntent {
+                        index: SHADOW_ENTRY_BASE + i as u64,
+                        data_location: g.shadow.header.blocks[i],
+                        data_pre: shadow_keys.check(&pre_field),
+                        data_post: shadow_keys.check(&post_field),
+                        parity: Vec::new(),
+                    });
+                }
             }
 
             // Write-ahead intent: every pre/post check the recovery pass
@@ -1121,6 +1195,9 @@ impl<D: BlockDevice> ResilientStore<D> {
                 IntentBody::Create => self.recover_create(&path)?,
                 IntentBody::WriteBatch { entries } => self.recover_write_batch(&path, &entries)?,
                 IntentBody::Repair => self.recover_repair(&path)?,
+                IntentBody::RegistryCheckpoint { shard, generation } => {
+                    self.recover_registry_checkpoint(shard, generation)?
+                }
             };
             match outcome {
                 Recovered::Forward => report.rolled_forward += 1,
@@ -1202,6 +1279,18 @@ impl<D: BlockDevice> ResilientStore<D> {
         };
         let mut g = state.write();
 
+        // The record's tail covers the chunk-closing shadow rewrite; strip it
+        // off before stripe grouping (shadow entries have no stripe geometry)
+        // and verify it separately once the data frontier is resolved.
+        let split = entries
+            .iter()
+            .position(|e| e.index >= SHADOW_ENTRY_BASE)
+            .unwrap_or(entries.len());
+        let (entries, shadow_entries) = entries.split_at(split);
+        if entries.is_empty() {
+            return Ok(Recovered::Stale);
+        }
+
         // Split the record into runs of same-stripe entries, preserving
         // write order.
         let mut groups: Vec<&[BlockWriteIntent]> = Vec::new();
@@ -1248,8 +1337,46 @@ impl<D: BlockDevice> ResilientStore<D> {
                 }
             }
         }
-        if touched {
-            self.rewrite_shadow(&mut g)?;
+        if outcome != Recovered::Stale {
+            // Bring the on-disk shadow to the resolved map. When the record
+            // carries shadow entries, each names a shadow block being
+            // rewritten: classify it against the re-derived target and only
+            // skip the rewrite when every block already verifies (the cut
+            // landed after the shadow write, or before the batch started).
+            let mut dirty = touched;
+            if !dirty && !shadow_entries.is_empty() {
+                let per = self.fs.content_bytes_per_block();
+                let shadow_keys = self.checksum_keys(&g.shadow)?;
+                let shadow_key = *g.shadow.fak.content_key().expect("checked above");
+                let expected = g.stripes.encode();
+                for e in shadow_entries {
+                    let i = (e.index - SHADOW_ENTRY_BASE) as usize;
+                    let stale_geometry = i >= g.shadow.header.num_blocks() as usize
+                        || g.shadow.header.blocks[i] != e.data_location
+                        || !e.parity.is_empty();
+                    if stale_geometry {
+                        dirty = true;
+                        break;
+                    }
+                    let start = i * per;
+                    let mut want = vec![0u8; per];
+                    let chunk =
+                        &expected[start.min(expected.len())..expected.len().min(start + per)];
+                    want[..chunk.len()].copy_from_slice(chunk);
+                    let field = self.fs.codec().read_sealed(
+                        self.fs.device(),
+                        e.data_location,
+                        &shadow_key,
+                    )?;
+                    if shadow_keys.mac16(&field) != shadow_keys.mac16(&want) {
+                        dirty = true;
+                        break;
+                    }
+                }
+            }
+            if dirty {
+                self.rewrite_shadow(&mut g)?;
+            }
         }
         Ok(outcome)
     }
@@ -1929,10 +2056,11 @@ mod tests {
         let data = content(4000);
         store.create_file("/a", &data).unwrap();
 
-        // Tear the update's first two scalar writes mid-sector: the intent
-        // record (torn journal records self-invalidate; nothing scans it
-        // here) and then the data block write.
+        // Tear the update's first three scalar writes mid-sector: the intent
+        // record's two slot copies (torn journal records self-invalidate;
+        // nothing scans them here) and then the data block write.
         let per = store.fs().content_bytes_per_block();
+        store.fs.device().arm_partial_scalar_write(100);
         store.fs.device().arm_partial_scalar_write(100);
         store.fs.device().arm_partial_scalar_write(100);
         let new_block = vec![0x77u8; per];
@@ -1944,6 +2072,39 @@ mod tests {
         expected[..per].copy_from_slice(&new_block);
         assert_eq!(store.read_file("/a").unwrap(), expected);
         assert!(store.stats().read_check_failures >= 1);
+    }
+
+    #[test]
+    fn journal_record_survives_one_zeroed_slot_copy() {
+        let store = fresh_store();
+        let guard = store
+            .journal
+            .begin(store.fs(), "/victim", IntentBody::Create)
+            .unwrap()
+            .unwrap();
+        // Leak the guard: the record stays live on disk, as after a crash.
+        std::mem::forget(guard);
+        let found = store.journal.scan(store.fs()).unwrap();
+        assert_eq!(found.len(), 1);
+
+        // Zero every primary copy: the mirrors alone must still carry it.
+        let slots: Vec<BlockId> = store.journal.slots().to_vec();
+        let mut plan = FaultPlan::new(41);
+        for pair in slots.chunks(2) {
+            plan.zero_block(pair[0]);
+        }
+        store.fs.device().apply_plan(&plan).unwrap();
+        assert_eq!(store.journal.scan(store.fs()).unwrap(), found);
+
+        // Zero the mirrors as well and the record is (correctly) gone.
+        let mut plan = FaultPlan::new(43);
+        for pair in slots.chunks(2) {
+            if let Some(&mirror) = pair.get(1) {
+                plan.zero_block(mirror);
+            }
+        }
+        store.fs.device().apply_plan(&plan).unwrap();
+        assert!(store.journal.scan(store.fs()).unwrap().is_empty());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod driver;
 mod patterns;
 mod population;
 
+pub use churn::{ChurnConfig, ChurnOp, ChurnWorkload};
 pub use driver::{ConcurrentDriver, RoundRobinDriver, SharedUserTask, TaskTiming, UserTask};
 pub use patterns::{AccessPattern, ZipfDistribution};
 pub use population::{deterministic_content, FileSpec, PopulationConfig};

@@ -1,4 +1,9 @@
 //! Access-pattern generators.
+//!
+//! [`ZipfDistribution`] is the shared primitive: the block-level traces here
+//! draw hot blocks from it, and the session-level
+//! [`ChurnWorkload`](crate::churn::ChurnWorkload) draws hot *users* from it
+//! for the registry-scale login/logout streams.
 
 use stegfs_crypto::HashDrbg;
 

@@ -45,6 +45,10 @@ pub mod prelude {
     };
     pub use stegfs_crypto::{Aes256, CbcCipher, HashDrbg, Key256, Sha256};
     pub use stegfs_oblivious::{ObliviousConfig, ObliviousStore};
-    pub use stegfs_resilience::{IntentJournal, ResilienceConfig, ResilientStore, StripeConfig};
-    pub use steghide::{AgentConfig, NonVolatileAgent, VolatileAgent};
+    pub use stegfs_resilience::{
+        IntentJournal, RegistryConfig, ResilienceConfig, ResilientStore, StripeConfig,
+    };
+    pub use steghide::{
+        AgentConfig, ConcurrentVolatileAgent, NonVolatileAgent, UserCredential, VolatileAgent,
+    };
 }

@@ -273,3 +273,206 @@ fn single_thread_reference_run_passes_the_same_audits() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Construction 2 under storms: the volatile agent's registry is shared by
+// every session, and logins/logouts rebuild it while other sessions read and
+// relocate. The satellite invariants: class-counter conservation on the
+// sharded map at every point, and byte-identical read-back of every user's
+// file after the storm.
+
+use steghide::{ConcurrentVolatileAgent, SessionId, UserCredential, VolatileAgent};
+
+const V_USERS: usize = 8;
+const V_ROUNDS: u64 = 12;
+const V_FILE_BLOCKS: u64 = 4;
+const V_DUMMY_BLOCKS: u64 = 8;
+
+fn volatile_credentials(u: usize) -> Vec<UserCredential> {
+    vec![
+        UserCredential::new(
+            format!("/v{u}/data"),
+            FileAccessKey::from_passphrase(&format!("volatile-{u}-data")),
+        ),
+        UserCredential::new(
+            format!("/v{u}/dummy"),
+            FileAccessKey::from_passphrase(&format!("volatile-{u}-dummy")).without_content_key(),
+        ),
+    ]
+}
+
+/// Provision a volume with `V_USERS` users (a data and a dummy file each)
+/// and hand it to the zero-knowledge concurrent volatile agent.
+fn build_volatile_system() -> ConcurrentVolatileAgent<MemDevice> {
+    let mut setup = VolatileAgent::format(
+        MemDevice::new(4096, 512),
+        StegFsConfig::default().with_block_size(512),
+        AgentConfig::default(),
+        33,
+    )
+    .expect("format volume");
+    let per = setup.fs().content_bytes_per_block();
+    for u in 0..V_USERS {
+        let mut content = Vec::with_capacity(per * V_FILE_BLOCKS as usize);
+        for b in 0..V_FILE_BLOCKS {
+            content.extend(std::iter::repeat(fill_byte(u, 0, b)).take(per));
+        }
+        setup
+            .provision_file(
+                &format!("/v{u}/data"),
+                &FileAccessKey::from_passphrase(&format!("volatile-{u}-data")),
+                &content,
+            )
+            .expect("provision data file");
+        setup
+            .provision_dummy_file(
+                &format!("/v{u}/dummy"),
+                &FileAccessKey::from_passphrase(&format!("volatile-{u}-dummy"))
+                    .without_content_key(),
+                V_DUMMY_BLOCKS,
+            )
+            .expect("provision dummy file");
+    }
+    ConcurrentVolatileAgent::mount(
+        setup.into_device(),
+        AgentConfig::default(),
+        91,
+        DEFAULT_MAP_SHARDS,
+    )
+    .expect("mount concurrent volatile agent")
+}
+
+/// Class-counter conservation on the volatile agent's sharded map: cached
+/// counters agree with the class vectors and every block is in exactly one
+/// class. Safe to call mid-flight from any worker thread.
+fn audit_volatile_map(agent: &ConcurrentVolatileAgent<MemDevice>, ctx: &str) {
+    let map = agent.map();
+    assert!(
+        map.counters_are_consistent(),
+        "{ctx}: cached counters drifted"
+    );
+    assert_eq!(
+        map.data_blocks() + map.dummy_blocks() + map.unknown_blocks() + map.reserved_blocks(),
+        map.num_blocks(),
+        "{ctx}: class conservation violated"
+    );
+}
+
+#[test]
+fn volatile_agent_survives_login_logout_storms() {
+    let agent = build_volatile_system();
+    let per = agent.fs().content_bytes_per_block();
+
+    // One task per user. Each round is a full session: login, update one
+    // block, read another back and check it, occasionally drive a dummy
+    // update or audit the map, logout. Sessions therefore appear and vanish
+    // continuously while the other seven users are mid-traffic — exactly the
+    // storm the structural lock must serialize against per-block ops.
+    let tasks: Vec<_> = (0..V_USERS)
+        .map(|u| {
+            let mut round = 0u64;
+            let mut step = 0u8;
+            let mut session: Option<SessionId> = None;
+            let mut last_fill: Vec<Option<u8>> = vec![None; V_FILE_BLOCKS as usize];
+            move |agent: &ConcurrentVolatileAgent<MemDevice>| {
+                match step {
+                    0 => {
+                        let s = agent
+                            .login(&format!("v{u}"), &volatile_credentials(u))
+                            .expect("login");
+                        session = Some(s);
+                        step = 1;
+                    }
+                    1 => {
+                        let s = session.unwrap();
+                        let files = agent.session_files(s).expect("session files");
+                        let block = round % V_FILE_BLOCKS;
+                        let fill = fill_byte(u, round + 1, block);
+                        agent
+                            .update_block(s, files[0], block, &vec![fill; per])
+                            .expect("update");
+                        last_fill[block as usize] = Some(fill);
+                        step = 2;
+                    }
+                    2 => {
+                        let s = session.unwrap();
+                        let files = agent.session_files(s).expect("session files");
+                        let block = (round + 1) % V_FILE_BLOCKS;
+                        let read = agent.read_block(s, files[0], block).expect("read block");
+                        let expected =
+                            last_fill[block as usize].unwrap_or_else(|| fill_byte(u, 0, block));
+                        assert!(
+                            read.iter().all(|&x| x == expected),
+                            "user {u} round {round}: stale or torn read of block {block}"
+                        );
+                        if round % 3 == 1 {
+                            // Background cover traffic against whatever is
+                            // currently disclosed (possibly nothing, if this
+                            // races every other user's logout window).
+                            match agent.dummy_update_once() {
+                                Ok(_) | Err(steghide::AgentError::NothingToUpdate) => {}
+                                Err(e) => panic!("dummy update failed: {e:?}"),
+                            }
+                        }
+                        if round % 4 == 2 {
+                            // Mid-run audit: quiesces traffic via the
+                            // structural lock, then checks counter/class
+                            // conservation under it.
+                            assert!(
+                                agent.audit_map_consistency(),
+                                "mid-run audit failed (user {u}, round {round})"
+                            );
+                        }
+                        step = 3;
+                    }
+                    _ => {
+                        agent.logout(session.take().unwrap()).expect("logout");
+                        round += 1;
+                        step = 0;
+                    }
+                }
+                round == V_ROUNDS && step == 0
+            }
+        })
+        .collect();
+
+    let threads = stress_threads();
+    let timings = ConcurrentDriver::run(&agent, tasks, threads, || 0);
+    assert_eq!(timings.len(), V_USERS);
+
+    // 1. Everyone logged out: the agent's view collapsed back to zero
+    //    knowledge, and class conservation still holds exactly.
+    assert!(agent.logged_in_users().is_empty());
+    audit_volatile_map(&agent, "post-storm");
+    assert_eq!(
+        agent.map().data_blocks(),
+        0,
+        "view survived the last logout"
+    );
+    assert_eq!(agent.map().dummy_blocks(), 0);
+
+    // 2. Every user's file reads back byte-identical to the last write of
+    //    each block, through a fresh session.
+    for u in 0..V_USERS {
+        let s = agent
+            .login(&format!("v{u}"), &volatile_credentials(u))
+            .expect("audit login");
+        let files = agent.session_files(s).expect("session files");
+        let read = agent.read_file(s, files[0]).expect("read back");
+        for b in 0..V_FILE_BLOCKS {
+            let last_round = (0..V_ROUNDS)
+                .rev()
+                .find(|r| r % V_FILE_BLOCKS == b)
+                .unwrap();
+            let expected = fill_byte(u, last_round + 1, b);
+            assert!(
+                read[(b as usize) * per..(b as usize + 1) * per]
+                    .iter()
+                    .all(|&x| x == expected),
+                "user {u} block {b}: expected fill of round {last_round}"
+            );
+        }
+        agent.logout(s).expect("audit logout");
+    }
+    audit_volatile_map(&agent, "final");
+}

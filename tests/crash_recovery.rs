@@ -25,6 +25,7 @@ use std::sync::Arc;
 use stegfs_repro::blockdev::{clone_to_mem, CrashDevice, CrashPoint};
 use stegfs_repro::oblivious::EpochState;
 use stegfs_repro::prelude::*;
+use stegfs_repro::resilience::RegistryConfig;
 use stegfs_repro::steghide::ConcurrentAgent;
 
 const BLOCK_SIZE: usize = 512;
@@ -310,6 +311,201 @@ fn batched_file_rewrite_recovers_to_a_clean_frontier_at_every_cut() {
             frontiers.len() >= 3,
             "sweep never stopped mid-batch: {frontiers:?}"
         );
+    }
+}
+
+#[test]
+fn shadow_map_rewrite_cuts_leave_a_consistent_stripe_map() {
+    // The shadow stripe-map rewrite at the end of each batched chunk is now
+    // recorded as the tail of the chunk's intent record. Whatever write the
+    // cut lands on — data, parity, or any shadow block — recovery must leave
+    // the on-disk stripe map aligned with the resolved data frontier: the
+    // volume scrubs clean and a further update works first try.
+    let (image, keep) = baseline();
+    let (dev, store) = open_clone(&image);
+    let per = store.fs().content_bytes_per_block();
+    let old = pattern(6 * per, 61);
+    store.create_file("/f", &old).unwrap();
+    let image = dev.snapshot_to_mem().unwrap();
+    drop(store);
+
+    let mut new = old.clone();
+    for i in [0usize, 3, 4] {
+        new[i * per..(i + 1) * per].copy_from_slice(&pattern(per, 700 + i as u64));
+    }
+
+    let (dev, store) = open_clone(&image);
+    let gen0 = store.generation();
+    dev.reset_counters();
+    let cp = CrashPoint::discover(&dev, || store.write_file("/f", &new).unwrap());
+    drop(store);
+
+    for n in cut_points(cp.total()) {
+        let (dev, store) = open_clone(&image);
+        dev.reset_counters();
+        dev.arm_cut(n);
+        let _ = store.write_file("/f", &new);
+        let snapshot = dev.snapshot_to_mem().unwrap();
+        drop(store);
+
+        let store = reopen(snapshot);
+        assert_volume_sane(&store, gen0, &keep, &format!("shadow cut {n}"));
+        // The recovered stripe map agrees with every on-disk block: a scrub
+        // finds nothing to repair.
+        let report = store.scrub().unwrap();
+        assert!(
+            report.is_clean(),
+            "shadow cut {n}: stripe map out of line with disk: {report:?}"
+        );
+        // And the map serves a fresh delta update correctly.
+        let touch = pattern(per, 1234);
+        store.write_block("/f", 2, &touch).unwrap();
+        let got = store.read_file("/f").unwrap();
+        assert_eq!(&got[2 * per..3 * per], &touch[..], "shadow cut {n}");
+    }
+}
+
+#[test]
+fn registry_checkpoint_is_old_or_new_at_every_cut() {
+    // Tentpole crash row: a power cut anywhere inside a registry checkpoint
+    // (intent slots, segment blocks, head-cell flip) must resolve, per
+    // shard, to exactly the pre-checkpoint or post-checkpoint record set.
+    let (image, keep) = baseline();
+    let (dev, store) = open_clone(&image);
+    store
+        .init_registry(
+            RegistryConfig::default()
+                .with_shards(4)
+                .with_segment_blocks(2)
+                .with_max_resident(8),
+        )
+        .unwrap();
+    let users: Vec<String> = (0..10).map(|i| format!("user-{i}")).collect();
+    for u in &users {
+        store.registry_put(u, b"old-state").unwrap();
+    }
+    store.registry_checkpoint().unwrap();
+    let image = dev.snapshot_to_mem().unwrap();
+    drop(store);
+
+    // The dirtying itself is in-memory; only the checkpoint writes.
+    let dirty_and_checkpoint = |store: &CrashStore| {
+        for u in &users {
+            store.registry_put(u, b"new-state").unwrap();
+        }
+        let _ = store.registry_checkpoint();
+    };
+
+    let (dev, store) = open_clone(&image);
+    let gen0 = store.generation();
+    dev.reset_counters();
+    let cp = CrashPoint::discover(&dev, || dirty_and_checkpoint(&store));
+    assert!(
+        cp.total() >= 4,
+        "checkpoint issued only {} writes",
+        cp.total()
+    );
+    drop(store);
+
+    let (mut saw_old, mut saw_new) = (false, false);
+    for n in cut_points(cp.total()) {
+        let (dev, store) = open_clone(&image);
+        dev.reset_counters();
+        dev.arm_cut(n);
+        dirty_and_checkpoint(&store);
+        let snapshot = dev.snapshot_to_mem().unwrap();
+        drop(store);
+
+        let store = reopen(snapshot);
+        assert_volume_sane(&store, gen0, &keep, &format!("checkpoint cut {n}"));
+        // Per shard, the record set is all-old or all-new; a user never
+        // reads a hybrid or vanishes.
+        let mut shard_saw: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
+        for (i, u) in users.iter().enumerate() {
+            let got = store.registry_get(u).unwrap();
+            let is_new = match got.as_deref() {
+                Some(b"new-state") => true,
+                Some(b"old-state") => false,
+                other => panic!("checkpoint cut {n}: user {i} reads {other:?}"),
+            };
+            saw_old |= !is_new;
+            saw_new |= is_new;
+            let shard = store.registry_shard_of(u).unwrap();
+            let first = *shard_saw.entry(shard).or_insert(is_new);
+            assert_eq!(
+                first, is_new,
+                "checkpoint cut {n}: shard {shard} committed only some of its users"
+            );
+        }
+        if n == 0 {
+            assert!(
+                users
+                    .iter()
+                    .all(|u| store.registry_get(u).unwrap().as_deref() == Some(&b"old-state"[..])),
+                "cut 0 must keep the old records"
+            );
+        }
+        if n == cp.total() {
+            assert!(
+                users
+                    .iter()
+                    .all(|u| store.registry_get(u).unwrap().as_deref() == Some(&b"new-state"[..])),
+                "uncut checkpoint must land the new records"
+            );
+        }
+        // After recovery the registry accepts further traffic and
+        // checkpoints cleanly.
+        store.registry_put("post-crash", b"fresh").unwrap();
+        store.registry_checkpoint().unwrap();
+        assert_eq!(
+            store.registry_get("post-crash").unwrap().as_deref(),
+            Some(&b"fresh"[..])
+        );
+    }
+    assert!(saw_old && saw_new, "sweep never covered both outcomes");
+}
+
+#[test]
+fn live_intent_survives_a_zeroed_slot_copy() {
+    // Satellite: journal slots are replicated; losing one copy of a live
+    // record must not orphan the in-flight intent. Crash an update mid-way,
+    // zero the *primary* copy of every slot pair, and recovery must still
+    // classify the cut from the mirror.
+    let (image, keep, old, new, newblk) = update_fixture();
+
+    let (dev, store) = open_clone(&image);
+    let gen0 = store.generation();
+    let slots = store.journal_slots();
+    assert!(slots.len() >= 2 && slots.len() % 2 == 0, "slots are paired");
+    dev.reset_counters();
+    let cp = CrashPoint::discover(&dev, || store.write_block("/f", 1, &newblk).unwrap());
+    drop(store);
+
+    for n in cut_points(cp.total()) {
+        for copy in [0usize, 1] {
+            let (dev, store) = open_clone(&image);
+            dev.reset_counters();
+            dev.arm_cut(n);
+            let _ = store.write_block("/f", 1, &newblk);
+            let snapshot = dev.snapshot_to_mem().unwrap();
+            drop(store);
+
+            // Lose one copy of every pair (primaries, then mirrors on the
+            // second pass) — the FaultDevice-style zeroed-block loss model.
+            for pair in slots.chunks(2) {
+                snapshot
+                    .write_block(pair[copy], &vec![0u8; BLOCK_SIZE])
+                    .unwrap();
+            }
+
+            let store = reopen(snapshot);
+            assert_volume_sane(&store, gen0, &keep, &format!("slot loss {n}/{copy}"));
+            let got = store.read_file("/f").unwrap();
+            assert!(
+                got == old || got == new,
+                "slot loss {n}/{copy}: hybrid state after losing a slot copy"
+            );
+        }
     }
 }
 

@@ -405,3 +405,75 @@ fn concurrent_opens_repair_a_stale_anchor_replica() {
     assert_eq!(store.stats().anchor_repairs, 0);
     assert_eq!(store.generation(), generation);
 }
+
+/// Registry invisibility: the sealed shard segments and head cells of a
+/// fully populated, checkpointed registry must be byte-level uniform and
+/// distributionally indistinguishable from the free space they sit in. An
+/// attacker dumping the volume sees no new structure after a million-user
+/// registry moves in.
+#[test]
+fn registry_segments_are_indistinguishable_from_free_space() {
+    use stegfs_repro::resilience::RegistryConfig;
+
+    let store = fresh(2, 1, 0x3e61);
+    store
+        .init_registry(
+            RegistryConfig::default()
+                .with_shards(16)
+                .with_segment_blocks(4)
+                .with_max_resident(16),
+        )
+        .unwrap();
+    // Fill the shards with real records (bounded by segment capacity) and
+    // push them all to disk.
+    for i in 0..96u64 {
+        store
+            .registry_put(&format!("invis-user-{i}"), &pattern(24, i))
+            .unwrap();
+    }
+    store.registry_checkpoint().unwrap();
+
+    // Bytes of every registry block (head cells + both segment buffers),
+    // straight off the raw device.
+    let registry_blocks = store.registry_blocks();
+    assert!(!registry_blocks.is_empty());
+    let device = store.fs().device();
+    let bs = device.block_size();
+    let mut registry_bytes = Vec::with_capacity(registry_blocks.len() * bs);
+    let mut buf = vec![0u8; bs];
+    for &b in &registry_blocks {
+        device.read_block(b, &mut buf).unwrap();
+        registry_bytes.extend_from_slice(&buf);
+    }
+
+    // Reference: the same block positions on an identically formatted volume
+    // that never grew a registry — pure free space.
+    let reference_store = fresh(2, 1, 0x3e61 ^ 1);
+    let reference_device = reference_store.fs().device();
+    let mut free_bytes = Vec::with_capacity(registry_blocks.len() * bs);
+    for &b in &registry_blocks {
+        reference_device.read_block(b, &mut buf).unwrap();
+        free_bytes.extend_from_slice(&buf);
+    }
+
+    let reg = byte_value_chi_square(&registry_bytes, 0.01);
+    assert!(
+        !reg.rejects_uniformity,
+        "registry blocks show byte-level structure: {reg:?}"
+    );
+    assert!(byte_value_kl(&registry_bytes) < 0.01);
+
+    let free = byte_value_chi_square(&free_bytes, 0.01);
+    assert!(!free.rejects_uniformity, "reference not uniform: {free:?}");
+
+    let as_obs = |bytes: &[u8]| bytes.iter().map(|&b| b as u64).collect::<Vec<u64>>();
+    let kl = kl_divergence_between(&as_obs(&registry_bytes), &as_obs(&free_bytes), 256, 256);
+    assert!(kl < 0.01, "KL(registry ‖ free space) = {kl}");
+
+    // The whole hidden area still passes, registry included.
+    let all = byte_value_chi_square(&dump_hidden(device), 0.01);
+    assert!(
+        !all.rejects_uniformity,
+        "volume-wide uniformity broke: {all:?}"
+    );
+}

@@ -85,6 +85,7 @@ fn expected_figure_and_table_bins_exist() {
         "concurrent_baseline",
         "resilience_baseline",
         "recovery_baseline",
+        "scale_baseline",
     ] {
         assert!(
             on_disk.contains(required),
